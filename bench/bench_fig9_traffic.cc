@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces paper Fig. 9: memory-traffic reduction of LAORAM vs
+ * PathORAM on the DLRM/Kaggle trace, with the analytic upper bounds
+ * the paper derives: S for a normal tree and 2(Z+1)/(3Z+1) * S for
+ * the fat tree.
+ *
+ * Paper reference points: Normal/S2 2.0x (meets the bound), Normal/S4
+ * 3.30x (below the 4x bound once evictions kick in), Fat/S8 above
+ * Normal/S8.
+ */
+
+#include <iostream>
+
+#include "common/harness.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+using namespace laoram;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("bench_fig9_traffic",
+                   "Reproduces Fig. 9 (traffic reduction, Kaggle)");
+    auto full = args.addFlag("full", "paper-scale entry counts");
+    auto epochs = args.addUint("epochs", "training epochs per run", 6);
+    auto seed = args.addUint("seed", "experiment seed", 21);
+    auto dataset = args.addString(
+        "dataset", "kaggle (paper) or permutation (paper's follow-up "
+        "analysis)", "kaggle");
+    args.parse(argc, argv);
+
+    const auto kind = workload::datasetFromName(*dataset);
+    bench::printHeader(
+        "Fig. 9 — LAORAM memory traffic reduction: "
+            + std::string(workload::datasetName(kind)),
+        "total bytes moved vs PathORAM; analytic bounds per paper "
+        "Section VIII-F");
+
+    const bench::DatasetScale scale = bench::scaleFor(kind, *full);
+    const workload::Trace trace = bench::makeEpochedTrace(
+        kind, scale.numBlocks, scale.accesses, *epochs, *seed);
+
+    bench::HarnessConfig hcfg;
+    hcfg.blockBytes = scale.blockBytes;
+    hcfg.seed = *seed;
+    const double z = static_cast<double>(hcfg.bucketZ);
+
+    double baseline_bytes = 0.0;
+    TextTable table({"config", "GB moved", "reduction",
+                     "analytic bound", "paper (Kaggle)"});
+    const char *paper_vals[] = {"1.00", "2.00", "3.30", "~4.5",
+                                "<2",   "~3",   ">5"};
+    int idx = 0;
+    for (const bench::EngineSpec &spec : bench::paperConfigs()) {
+        const bench::RunResult r = bench::runSpec(spec, trace, hcfg);
+        const double bytes =
+            static_cast<double>(r.counters.totalBytes());
+        if (spec.kind == bench::EngineSpec::Kind::PathOramBaseline)
+            baseline_bytes = bytes;
+
+        double bound = 1.0;
+        const double s = static_cast<double>(spec.superblock);
+        if (spec.kind == bench::EngineSpec::Kind::Normal)
+            bound = s;
+        else if (spec.kind == bench::EngineSpec::Kind::Fat)
+            bound = 2.0 * (z + 1.0) / (3.0 * z + 1.0) * s;
+
+        table.addRow({
+            r.label,
+            TextTable::cell(bytes / 1e9, 3),
+            TextTable::cell(baseline_bytes / bytes, 2) + "x",
+            TextTable::cell(bound, 2) + "x",
+            paper_vals[idx],
+        });
+        ++idx;
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n";
+    table.printCsv(std::cout);
+
+    std::cout << "\npaper shape check: Normal/S2 sits at its 2x bound;"
+                 " larger S falls below\nits bound as evictions grow; "
+                 "fat trails normal at small S (wider paths)\nbut "
+                 "overtakes it at S8 where eviction savings dominate."
+                 "\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Engine micro-throughput on google-benchmark: wall-clock logical
+ * accesses/second of each engine across tree heights. This is
+ * infrastructure benchmarking (host speed of the simulator itself),
+ * not a paper figure — the paper metrics are simulated-time ratios,
+ * which bench_fig7_speedups reports.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/harness.hh"
+#include "oram/path_oram.hh"
+#include "oram/ring_oram.hh"
+#include "util/rng.hh"
+
+using namespace laoram;
+
+namespace {
+
+std::vector<oram::BlockId>
+randomTrace(std::uint64_t blocks, std::uint64_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<oram::BlockId> t(n);
+    for (auto &id : t)
+        id = rng.nextBounded(blocks);
+    return t;
+}
+
+void
+BM_PathOramAccess(benchmark::State &state)
+{
+    const std::uint64_t blocks = std::uint64_t{1}
+        << static_cast<unsigned>(state.range(0));
+    oram::EngineConfig cfg;
+    cfg.numBlocks = blocks;
+    cfg.blockBytes = 128;
+    cfg.seed = 1;
+    oram::PathOram engine(cfg);
+    const auto trace = randomTrace(blocks, 1024, 2);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        engine.touch(trace[i++ & 1023]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_LaoramBinAccess(benchmark::State &state)
+{
+    const std::uint64_t blocks = std::uint64_t{1}
+        << static_cast<unsigned>(state.range(0));
+    core::LaoramConfig cfg;
+    cfg.base.numBlocks = blocks;
+    cfg.base.blockBytes = 128;
+    cfg.base.seed = 1;
+    cfg.superblockSize = 4;
+    core::Laoram engine(cfg);
+
+    core::Preprocessor prep(
+        core::PreprocessorConfig{4, engine.geometry().numLeaves()}, 3);
+    const auto trace = randomTrace(blocks, 4096, 4);
+    const auto res = prep.run(trace);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        engine.accessBin(res.bins[i++ % res.bins.size()]);
+    }
+    // Each bin serves ~4 logical accesses.
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+
+void
+BM_RingOramAccess(benchmark::State &state)
+{
+    const std::uint64_t blocks = std::uint64_t{1}
+        << static_cast<unsigned>(state.range(0));
+    oram::RingOramConfig cfg;
+    cfg.base.numBlocks = blocks;
+    cfg.base.blockBytes = 128;
+    cfg.base.seed = 1;
+    oram::RingOram engine(cfg);
+    const auto trace = randomTrace(blocks, 1024, 5);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        engine.touch(trace[i++ & 1023]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_PreprocessorScan(benchmark::State &state)
+{
+    const std::uint64_t blocks = 1 << 18;
+    core::Preprocessor prep(core::PreprocessorConfig{4, blocks}, 7);
+    const auto trace = randomTrace(
+        blocks, static_cast<std::uint64_t>(state.range(0)), 6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(prep.run(trace));
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+
+} // namespace
+
+BENCHMARK(BM_PathOramAccess)->Arg(12)->Arg(16)->Arg(18);
+BENCHMARK(BM_LaoramBinAccess)->Arg(12)->Arg(16)->Arg(18);
+BENCHMARK(BM_RingOramAccess)->Arg(12)->Arg(16);
+BENCHMARK(BM_PreprocessorScan)->Arg(4096)->Arg(65536);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Reproduces the paper's PrORAM claim (§I-B, §VII-B): on high-entropy
+ * embedding traces, history-based dynamic superblocks almost never
+ * merge, so PrORAM degenerates to PathORAM — which is why the paper
+ * uses PathORAM (superblock size 1) as its baseline and why
+ * look-ahead (rather than look-behind) is the enabling idea.
+ *
+ * Sweeps the locality knob: a Kaggle-like stream (low locality) vs an
+ * artificially group-local stream (PrORAM's best case) to show the
+ * merge machinery works and simply finds nothing to merge on real
+ * embedding traffic.
+ */
+
+#include <iostream>
+
+#include "common/harness.hh"
+#include "oram/path_oram.hh"
+#include "oram/pro_oram.hh"
+#include "util/cli.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+using namespace laoram;
+
+namespace {
+
+struct StreamResult
+{
+    std::uint64_t merges = 0;
+    std::uint64_t mergedNow = 0;
+    double bytesVsPathOram = 0.0;
+    double simVsPathOram = 0.0;
+};
+
+StreamResult
+runStream(const workload::Trace &trace, std::uint64_t seed)
+{
+    oram::EngineConfig base;
+    base.numBlocks = trace.numBlocks;
+    base.blockBytes = 128;
+    base.seed = seed;
+    base.profile = oram::BucketProfile::uniform(4);
+
+    oram::PathOram path(base);
+    path.runTrace(trace.accesses);
+
+    oram::ProOramConfig pcfg;
+    pcfg.base = base;
+    pcfg.groupSize = 4;
+    oram::ProOram pro(pcfg);
+    pro.runTrace(trace.accesses);
+
+    StreamResult r;
+    r.merges = pro.totalMerges();
+    r.mergedNow = pro.mergedGroups();
+    r.bytesVsPathOram =
+        static_cast<double>(pro.meter().counters().totalBytes())
+        / static_cast<double>(path.meter().counters().totalBytes());
+    r.simVsPathOram = pro.meter().clock().nanoseconds()
+        / path.meter().clock().nanoseconds();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("bench_proram_baseline",
+                   "PrORAM degeneration study (paper Sections I-B, "
+                   "VII-B)");
+    auto entries = args.addUint("entries", "embedding entries",
+                                1 << 14);
+    auto accesses = args.addUint("accesses", "trace length", 40000);
+    auto seed = args.addUint("seed", "experiment seed", 51);
+    args.parse(argc, argv);
+
+    bench::printHeader(
+        "PrORAM on embedding traces — why the baseline is PathORAM",
+        "dynamic superblocks (group 4, counter merge/split) vs "
+        "PathORAM");
+
+    TextTable table({"stream", "merges", "merged groups",
+                     "traffic vs PathORAM", "time vs PathORAM"});
+
+    // (1) Kaggle-like: the paper's Fig. 2 stream.
+    {
+        const workload::Trace trace = workload::makeTrace(
+            workload::DatasetKind::Kaggle, *entries, *accesses, *seed);
+        const StreamResult r = runStream(trace, *seed);
+        table.addRow({"kaggle-like (paper)", TextTable::cell(r.merges),
+                      TextTable::cell(r.mergedNow),
+                      TextTable::cell(r.bytesVsPathOram, 3) + "x",
+                      TextTable::cell(r.simVsPathOram, 3) + "x"});
+    }
+
+    // (2) Group-local: consecutive ids accessed together (PrORAM's
+    // design point) — merges must fire here, proving the machinery.
+    {
+        workload::Trace trace;
+        trace.name = "group-local";
+        trace.numBlocks = *entries;
+        Rng rng(*seed);
+        while (trace.accesses.size() < *accesses) {
+            const std::uint64_t group =
+                rng.nextBounded(*entries / 4);
+            for (int m = 0; m < 4; ++m)
+                trace.accesses.push_back(group * 4 + m);
+        }
+        const StreamResult r = runStream(trace, *seed);
+        table.addRow({"group-local (best case)",
+                      TextTable::cell(r.merges),
+                      TextTable::cell(r.mergedNow),
+                      TextTable::cell(r.bytesVsPathOram, 3) + "x",
+                      TextTable::cell(r.simVsPathOram, 3) + "x"});
+    }
+
+    table.print(std::cout);
+    std::cout << "\npaper shape check: on the embedding trace PrORAM "
+                 "merges ~nothing and its\ntraffic/time ratios sit at "
+                 "~1.0x PathORAM; on the contrived group-local\n"
+                 "stream the same machinery merges eagerly.\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared experiment harness for the paper-reproduction benches.
+ *
+ * Provides the seven Fig.-7 engine configurations (PathORAM,
+ * Normal/S2-S8, Fat/S2-S8), dataset scaling (CI-friendly defaults vs
+ * --full paper geometry), epoch-structured trace builders, and a
+ * one-call "run trace through engine, collect metrics" helper.
+ */
+
+#ifndef LAORAM_BENCH_COMMON_HARNESS_HH
+#define LAORAM_BENCH_COMMON_HARNESS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/laoram_client.hh"
+#include "mem/traffic_meter.hh"
+#include "oram/engine.hh"
+#include "workload/generator.hh"
+
+namespace laoram::bench {
+
+/** One engine configuration of the paper's sweeps. */
+struct EngineSpec
+{
+    enum class Kind
+    {
+        PathOramBaseline, ///< superblock size 1, uniform tree
+        Normal,           ///< LAORAM, uniform tree
+        Fat,              ///< LAORAM, fat tree (root 2Z -> leaf Z)
+    };
+
+    Kind kind = Kind::PathOramBaseline;
+    std::uint64_t superblock = 1;
+
+    /** Paper label: "PathORAM", "Normal/S4", "Fat/S8", ... */
+    std::string label() const;
+};
+
+/** The seven bars of every Fig. 7 panel, in paper order. */
+std::vector<EngineSpec> paperConfigs();
+
+/** Metrics extracted from one (engine, trace) run. */
+struct RunResult
+{
+    std::string label;
+    mem::TrafficCounters counters;
+    double simMs = 0.0;          ///< simulated end-to-end time
+    std::uint64_t serverBytes = 0; ///< tree memory requirement
+};
+
+/** Engine-construction knobs shared by the benches. */
+struct HarnessConfig
+{
+    std::uint64_t blockBytes = 128;
+    std::uint64_t bucketZ = 4;        ///< paper default bucket size
+    std::uint64_t stashHighWater = 500;
+    std::uint64_t stashLowWater = 50;
+    std::uint64_t seed = 1;
+};
+
+/** Build the engine described by @p spec over @p numBlocks blocks. */
+std::unique_ptr<oram::OramEngine> makeEngine(const EngineSpec &spec,
+                                             std::uint64_t numBlocks,
+                                             const HarnessConfig &cfg);
+
+/** Run @p trace through @p spec's engine and collect metrics. */
+RunResult runSpec(const EngineSpec &spec, const workload::Trace &trace,
+                  const HarnessConfig &cfg);
+
+/** Scaled-down (default) vs paper-scale dataset geometry. */
+struct DatasetScale
+{
+    std::uint64_t numBlocks = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t blockBytes = 128;
+};
+
+/**
+ * CI-friendly defaults that preserve the paper's shape (multiple
+ * training epochs per run); --full switches to Table-I geometry.
+ */
+DatasetScale scaleFor(workload::DatasetKind kind, bool full);
+
+/**
+ * Build a training trace of @p epochs epochs of @p perEpoch accesses
+ * each. Epochs use distinct seeds (reshuffled training set), matching
+ * how DLRM/XLM-R revisit their data; the permutation dataset is
+ * already epoch-structured internally and is generated in one piece.
+ */
+workload::Trace makeEpochedTrace(workload::DatasetKind kind,
+                                 std::uint64_t numBlocks,
+                                 std::uint64_t perEpoch,
+                                 std::uint64_t epochs,
+                                 std::uint64_t seed);
+
+/** Print a standard bench header line. */
+void printHeader(const std::string &title, const std::string &detail);
+
+} // namespace laoram::bench
+
+#endif // LAORAM_BENCH_COMMON_HARNESS_HH

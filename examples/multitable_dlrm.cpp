@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Full-model DLRM: all 26 Criteo-like embedding tables protected by
+ * ONE LAORAM tree.
+ *
+ * The paper evaluates its largest table; a deployment must hide *all*
+ * table accesses — otherwise which-table-was-touched leaks which
+ * categorical feature fired. Flattening every table into a single
+ * block space (train::TableSet) makes cross-table patterns mutually
+ * indistinguishable, and the look-ahead preprocessor coalesces the
+ * per-sample 26-row gather into superblocks almost perfectly: a
+ * sample's rows are consecutive in the future stream, which is
+ * exactly what a bin is.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/laoram_client.hh"
+#include "oram/path_oram.hh"
+#include "train/table_set.hh"
+#include "util/cli.hh"
+#include "workload/dlrm_multi.hh"
+
+using namespace laoram;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("multitable_dlrm",
+                   "26-table DLRM behind a single LAORAM tree");
+    auto largest = args.addUint("largest", "rows of the biggest table",
+                                1 << 15);
+    auto samples = args.addUint("samples", "training samples", 4096);
+    auto epochs = args.addUint("epochs", "training epochs", 3);
+    args.parse(argc, argv);
+
+    const train::TableSet tables =
+        train::TableSet::criteoLike(*largest);
+    std::cout << "model: " << tables.numTables()
+              << " embedding tables, " << tables.totalBlocks()
+              << " total rows (largest " << tables.tableRows(0)
+              << ")\n";
+
+    // One trace = `epochs` passes over the training set; per sample
+    // one lookup in every table.
+    workload::DlrmMultiParams dp;
+    dp.samples = *samples;
+    std::vector<oram::BlockId> trace;
+    for (std::uint64_t e = 0; e < *epochs; ++e) {
+        dp.seed = 100 + e;
+        const auto epoch = workload::makeDlrmMultiTrace(tables, dp);
+        trace.insert(trace.end(), epoch.accesses.begin(),
+                     epoch.accesses.end());
+    }
+    std::cout << "trace: " << trace.size() << " row accesses ("
+              << *samples << " samples x " << tables.numTables()
+              << " tables x " << *epochs << " epochs)\n\n";
+
+    // LAORAM with S = 8: a 26-row sample spans ~3-4 bins.
+    core::LaoramConfig lcfg;
+    lcfg.base.numBlocks = tables.totalBlocks();
+    lcfg.base.blockBytes = 128;
+    lcfg.base.profile = oram::BucketProfile::fat(4);
+    lcfg.base.seed = 7;
+    lcfg.superblockSize = 8;
+    lcfg.batchAccesses = tables.numTables() * 16; // 16-sample batches
+    core::Laoram laoram(lcfg);
+    laoram.runTrace(trace);
+
+    oram::EngineConfig pcfg = lcfg.base;
+    pcfg.profile = oram::BucketProfile::uniform(4);
+    oram::PathOram baseline(pcfg);
+    baseline.runTrace(trace);
+
+    const auto &lc = laoram.meter().counters();
+    std::cout << "LAORAM   : pathReads/access="
+              << lc.pathReadsPerAccess()
+              << " dummy/access=" << lc.dummyReadsPerAccess()
+              << " simMs=" << laoram.meter().clock().milliseconds()
+              << "\n";
+    const auto &pc = baseline.meter().counters();
+    std::cout << "PathORAM : pathReads/access="
+              << pc.pathReadsPerAccess()
+              << " simMs=" << baseline.meter().clock().milliseconds()
+              << "\n";
+    std::cout << "\nspeedup protecting the FULL model: "
+              << baseline.meter().clock().nanoseconds()
+                     / laoram.meter().clock().nanoseconds()
+              << "x\n"
+              << "\nNote how sample-aligned gathers make look-ahead "
+                 "binning especially\neffective: the 26 rows of a "
+                 "sample are adjacent in the future stream,\nso "
+                 "whole samples collapse onto a handful of paths.\n";
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A generic oblivious key-value store built on the library's ORAM
+ * engines — demonstrating that the substrate is reusable beyond
+ * embedding training.
+ *
+ * Stores string values (up to one block) under integer keys with
+ * ChaCha20 encryption at rest; an interactive-style scripted session
+ * shows puts/gets while printing what the untrusted server actually
+ * observes (uniform path traffic, nothing else).
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "oram/path_oram.hh"
+#include "oram/ring_oram.hh"
+#include "util/cli.hh"
+
+using namespace laoram;
+
+namespace {
+
+/** Thin typed wrapper over an ORAM engine. */
+class ObliviousKv
+{
+  public:
+    ObliviousKv(oram::OramEngine &engine, std::uint64_t valueBytes)
+        : engine(engine), valueBytes(valueBytes)
+    {
+    }
+
+    void
+    put(std::uint64_t key, const std::string &value)
+    {
+        std::vector<std::uint8_t> buf(valueBytes, 0);
+        const std::size_t n =
+            std::min<std::size_t>(value.size(), valueBytes - 1);
+        std::copy_n(value.begin(), n, buf.begin());
+        engine.writeBlock(key, buf);
+    }
+
+    std::string
+    get(std::uint64_t key)
+    {
+        std::vector<std::uint8_t> buf;
+        engine.readBlock(key, buf);
+        return std::string(reinterpret_cast<const char *>(buf.data()));
+    }
+
+  private:
+    oram::OramEngine &engine;
+    std::uint64_t valueBytes;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("oblivious_kv",
+                   "Encrypted, access-pattern-hiding KV store demo");
+    auto keys = args.addUint("keys", "key-space size", 1024);
+    auto ring = args.addFlag("ring", "use RingORAM instead of "
+                                     "PathORAM");
+    args.parse(argc, argv);
+
+    constexpr std::uint64_t kValueBytes = 48;
+
+    oram::EngineConfig cfg;
+    cfg.numBlocks = *keys;
+    cfg.blockBytes = 64;
+    cfg.payloadBytes = kValueBytes;
+    cfg.encrypt = true;
+    cfg.seed = 1337;
+
+    std::unique_ptr<oram::OramEngine> engine;
+    if (*ring) {
+        oram::RingOramConfig rcfg;
+        rcfg.base = cfg;
+        engine = std::make_unique<oram::RingOram>(rcfg);
+    } else {
+        engine = std::make_unique<oram::PathOram>(cfg);
+    }
+    std::cout << "oblivious KV over " << engine->name() << ", "
+              << *keys << " keys, ChaCha20 at rest\n\n";
+
+    ObliviousKv kv(*engine, kValueBytes);
+
+    // A scripted session.
+    kv.put(7, "the user watched: comedies");
+    kv.put(42, "the user watched: politics");
+    kv.put(7, "the user watched: comedies, superheroes");
+    std::cout << "get(7)  -> \"" << kv.get(7) << "\"\n";
+    std::cout << "get(42) -> \"" << kv.get(42) << "\"\n";
+    std::cout << "get(99) -> \"" << kv.get(99)
+              << "\" (never written: zeros)\n\n";
+
+    // What did the adversary see? Only path-shaped traffic.
+    engine->meter().printSummary(std::cout, "server view");
+    std::cout << "\nSix logical operations became "
+              << engine->meter().counters().blocksRead
+              << " uniformly distributed block reads — the access "
+                 "pattern reveals\nneither keys, nor values, nor "
+                 "whether operations repeat (Section VI).\n";
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Trace utility: generate, save, load, and analyse address traces.
+ *
+ * Lets experiments run on externally produced traces (e.g. embedding
+ * indices extracted from a real Criteo preprocessing run, which this
+ * repository cannot redistribute): generate a synthetic stand-in,
+ * inspect its structure, or replay a file through an engine.
+ *
+ *   trace_tool --gen kaggle --entries 1000000 --accesses 50000 \
+ *              --out /tmp/kaggle.trace
+ *   trace_tool --in /tmp/kaggle.trace --analyze
+ *   trace_tool --in /tmp/kaggle.trace --replay laoram
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "core/laoram_client.hh"
+#include "oram/path_oram.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/generator.hh"
+
+using namespace laoram;
+
+namespace {
+
+void
+analyze(const workload::Trace &trace)
+{
+    TextTable t({"metric", "value"});
+    t.addRow({"name", trace.name});
+    t.addRow({"table entries", TextTable::cell(trace.numBlocks)});
+    t.addRow({"accesses", TextTable::cell(trace.size())});
+    t.addRow({"unique ids", TextTable::cell(trace.uniqueCount())});
+    t.addRow({"unique fraction",
+              TextTable::cell(trace.size()
+                                  ? static_cast<double>(
+                                        trace.uniqueCount())
+                                      / static_cast<double>(
+                                            trace.size())
+                                  : 0.0,
+                              3)});
+    t.addRow({"hot mass (top 64)",
+              TextTable::cell(trace.hotMass(64), 3)});
+    t.addRow({"hot mass (top 1024)",
+              TextTable::cell(trace.hotMass(1024), 3)});
+    t.print(std::cout);
+}
+
+void
+replay(const workload::Trace &trace, const std::string &engine_name)
+{
+    std::unique_ptr<oram::OramEngine> engine;
+    if (engine_name == "laoram") {
+        core::LaoramConfig cfg;
+        cfg.base.numBlocks = trace.numBlocks;
+        cfg.base.blockBytes = 128;
+        cfg.base.profile = oram::BucketProfile::fat(4);
+        cfg.superblockSize = 4;
+        engine = std::make_unique<core::Laoram>(cfg);
+    } else if (engine_name == "pathoram") {
+        oram::EngineConfig cfg;
+        cfg.numBlocks = trace.numBlocks;
+        cfg.blockBytes = 128;
+        engine = std::make_unique<oram::PathOram>(cfg);
+    } else {
+        LAORAM_FATAL("unknown engine '", engine_name,
+                     "' (laoram|pathoram)");
+    }
+    engine->runTrace(trace.accesses);
+    engine->meter().printSummary(std::cout, engine->name().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("trace_tool",
+                   "generate / inspect / replay address traces");
+    auto gen = args.addString(
+        "gen", "generate: permutation|gaussian|kaggle|xnli", "");
+    auto entries = args.addUint("entries", "table entries", 1 << 16);
+    auto accesses = args.addUint("accesses", "trace length", 10000);
+    auto seed = args.addUint("seed", "generator seed", 1);
+    auto out = args.addString("out", "write trace to this file", "");
+    auto in = args.addString("in", "read trace from this file", "");
+    auto do_analyze = args.addFlag("analyze", "print structure stats");
+    auto replay_engine = args.addString(
+        "replay", "replay through engine: laoram|pathoram", "");
+    args.parse(argc, argv);
+
+    workload::Trace trace;
+    if (!gen->empty()) {
+        trace = workload::makeTrace(workload::datasetFromName(*gen),
+                                    *entries, *accesses, *seed);
+        std::cout << "generated " << trace.size() << " accesses ("
+                  << *gen << ")\n";
+    } else if (!in->empty()) {
+        std::ifstream f(*in);
+        if (!f)
+            LAORAM_FATAL("cannot open ", *in);
+        trace = workload::Trace::load(f);
+        std::cout << "loaded " << trace.size() << " accesses from "
+                  << *in << "\n";
+    } else {
+        std::cout << args.usage();
+        return 0;
+    }
+
+    if (!out->empty()) {
+        std::ofstream f(*out);
+        if (!f)
+            LAORAM_FATAL("cannot open ", *out, " for writing");
+        trace.save(f);
+        std::cout << "saved to " << *out << "\n";
+    }
+    if (*do_analyze)
+        analyze(trace);
+    if (!replay_engine->empty())
+        replay(trace, *replay_engine);
+    return 0;
+}

@@ -1,0 +1,204 @@
+#include "core/laoram_client.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace laoram::core {
+
+namespace {
+
+PreprocessorConfig
+prepConfigFor(const LaoramConfig &cfg,
+              const oram::TreeGeometry &geom)
+{
+    PreprocessorConfig pc;
+    pc.superblockSize = cfg.superblockSize;
+    pc.numLeaves = geom.numLeaves();
+    return pc;
+}
+
+} // namespace
+
+Laoram::Laoram(const LaoramConfig &cfg)
+    : TreeOramBase(cfg.base),
+      lcfg(cfg),
+      prep(prepConfigFor(cfg, geom), cfg.base.seed ^ 0x1AA0)
+{
+    LAORAM_ASSERT(lcfg.superblockSize >= 1,
+                  "superblock size must be >= 1");
+}
+
+std::string
+Laoram::name() const
+{
+    const char *tree = geom.profile().isUniform() ? "" : "-fat";
+    return std::string("LAORAM") + tree + "/S"
+        + std::to_string(lcfg.superblockSize);
+}
+
+void
+Laoram::access(BlockId id, oram::AccessOp op, const std::uint8_t *in,
+               std::size_t len, std::vector<std::uint8_t> *out)
+{
+    LAORAM_ASSERT(id < cfg.numBlocks, "block ", id, " out of range");
+    mtr.recordLogicalAccess();
+
+    const Leaf current = posmap_.get(id);
+    if (stash_.contains(id))
+        mtr.recordStashHit();
+    readPathMetered(current);
+
+    const Leaf next = randomLeaf();
+    posmap_.set(id, next);
+    oram::StashEntry &entry = stashEntryFor(id, next);
+    applyOp(entry, op, in, len, out);
+
+    writePathMetered(current);
+    backgroundEvict();
+    mtr.observeStashSize(stash_.size());
+}
+
+void
+Laoram::runTrace(const std::vector<BlockId> &trace)
+{
+    if (trace.empty())
+        return;
+    const std::uint64_t window =
+        lcfg.lookaheadWindow == 0 ? trace.size() : lcfg.lookaheadWindow;
+
+    for (std::uint64_t start = 0; start < trace.size();
+         start += window) {
+        const std::uint64_t stop =
+            std::min<std::uint64_t>(start + window, trace.size());
+        const PreprocessResult res =
+            prep.run(trace.data() + start, trace.data() + stop);
+
+        nBins += res.bins.size();
+        nPreprocessed += res.totalAccesses;
+        nFutureLinked += res.futureLinked;
+
+        if (lcfg.batchAccesses == 0) {
+            for (const SuperblockBin &bin : res.bins)
+                accessBin(bin);
+            continue;
+        }
+
+        // Group consecutive bins into training batches by raw access
+        // count and serve each batch with one union read/write.
+        std::size_t first = 0;
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < res.bins.size(); ++i) {
+            acc += res.bins[i].rawAccesses;
+            if (acc >= lcfg.batchAccesses) {
+                accessBatch(res.bins.data() + first, i - first + 1);
+                first = i + 1;
+                acc = 0;
+            }
+        }
+        if (first < res.bins.size())
+            accessBatch(res.bins.data() + first,
+                        res.bins.size() - first);
+    }
+}
+
+void
+Laoram::accessBatch(const SuperblockBin *bins, std::size_t count)
+{
+    LAORAM_ASSERT(count > 0, "empty training batch");
+
+    // Gather the batch's distinct current paths.
+    scratchLeaves.clear();
+    std::uint64_t raw = 0;
+    for (std::size_t b = 0; b < count; ++b) {
+        const SuperblockBin &bin = bins[b];
+        LAORAM_ASSERT(bin.members.size() == bin.nextPaths.size(),
+                      "bin missing future-path metadata");
+        raw += bin.rawAccesses;
+        for (BlockId id : bin.members) {
+            if (stash_.contains(id))
+                mtr.recordStashHit();
+            scratchLeaves.push_back(posmap_.get(id));
+        }
+    }
+    mtr.recordLogicalAccesses(raw);
+    std::sort(scratchLeaves.begin(), scratchLeaves.end());
+    scratchLeaves.erase(
+        std::unique(scratchLeaves.begin(), scratchLeaves.end()),
+        scratchLeaves.end());
+
+    readPathsBatchedMetered(scratchLeaves);
+
+    // Touch + remap every member of every bin, in stream order. A
+    // block appearing in several bins of the batch ends up on its
+    // final future path — exactly as if the bins ran back-to-back.
+    for (std::size_t b = 0; b < count; ++b) {
+        const SuperblockBin &bin = bins[b];
+        for (std::size_t j = 0; j < bin.members.size(); ++j) {
+            const BlockId id = bin.members[j];
+            const Leaf next = bin.nextPaths[j] == kNoFuturePath
+                                  ? randomLeaf()
+                                  : bin.nextPaths[j];
+            posmap_.set(id, next);
+            oram::StashEntry &entry = stashEntryFor(id, next);
+            if (touchFn)
+                touchFn(id, entry.payload);
+        }
+    }
+
+    writePathsBatchedMetered(scratchLeaves);
+    backgroundEvict();
+    mtr.observeStashSize(stash_.size());
+}
+
+void
+Laoram::accessBin(const SuperblockBin &bin)
+{
+    LAORAM_ASSERT(!bin.members.empty(), "empty superblock bin");
+    LAORAM_ASSERT(bin.members.size() == bin.nextPaths.size(),
+                  "bin missing future-path metadata");
+    mtr.recordLogicalAccesses(bin.rawAccesses);
+
+    // Collect the *distinct* current paths of the members. In steady
+    // state every member was remapped onto this bin's path by its
+    // previous access, so this collapses to a single leaf — the whole
+    // point of the look-ahead (paper §IV).
+    scratchLeaves.clear();
+    for (BlockId id : bin.members) {
+        if (stash_.contains(id))
+            mtr.recordStashHit();
+        scratchLeaves.push_back(posmap_.get(id));
+    }
+    std::sort(scratchLeaves.begin(), scratchLeaves.end());
+    scratchLeaves.erase(
+        std::unique(scratchLeaves.begin(), scratchLeaves.end()),
+        scratchLeaves.end());
+
+    // Union-batched read: shared prefix nodes are fetched once. In
+    // steady state this degenerates to a single path read per bin —
+    // the S-fold reduction the paper reports.
+    readPathsBatchedMetered(scratchLeaves);
+
+    // Touch every member and remap it to its future-bin path (uniform
+    // random when the look-ahead window holds no further occurrence —
+    // either way the new path is uniform and independent, §VI).
+    for (std::size_t j = 0; j < bin.members.size(); ++j) {
+        const BlockId id = bin.members[j];
+        const Leaf next = bin.nextPaths[j] == kNoFuturePath
+                              ? randomLeaf()
+                              : bin.nextPaths[j];
+        posmap_.set(id, next);
+        oram::StashEntry &entry = stashEntryFor(id, next);
+        if (touchFn)
+            touchFn(id, entry.payload);
+    }
+
+    // Write the fetched path union back (deepest-first greedy; each
+    // union node is written exactly once).
+    writePathsBatchedMetered(scratchLeaves);
+
+    backgroundEvict();
+    mtr.observeStashSize(stash_.size());
+}
+
+} // namespace laoram::core

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The LAORAM client — the paper's primary contribution (§IV).
+ *
+ * Runs over the same PathORAM storage tree (optionally fat, §V), but
+ * serves *superblock bins* instead of single blocks: the preprocessor
+ * guarantees that by the time a bin is trained, all of its members
+ * were remapped onto the bin's path by their previous access, so one
+ * path read feeds S blocks. Members are then remapped to their own
+ * future-bin paths and the fetched paths are written back greedily.
+ *
+ * The engine still implements the single-access OramEngine interface
+ * (degenerating to PathORAM behaviour) so it can be dropped anywhere a
+ * generic ORAM is expected; runTrace() is where the look-ahead
+ * machinery engages.
+ */
+
+#ifndef LAORAM_CORE_LAORAM_CLIENT_HH
+#define LAORAM_CORE_LAORAM_CLIENT_HH
+
+#include <functional>
+
+#include "core/preprocessor.hh"
+#include "core/superblock.hh"
+#include "oram/engine.hh"
+
+namespace laoram::core {
+
+/** LAORAM knobs layered on the shared EngineConfig. */
+struct LaoramConfig
+{
+    oram::EngineConfig base;
+
+    /** S: blocks fused per superblock (paper sweeps 2, 4, 8). */
+    std::uint64_t superblockSize = 4;
+
+    /**
+     * Accesses preprocessed per look-ahead window; 0 means the whole
+     * trace at once ("an entire epoch", §IV-B-2). Blocks that do not
+     * reappear within a window get uniform random paths at their
+     * access, exactly like PathORAM.
+     */
+    std::uint64_t lookaheadWindow = 0;
+
+    /**
+     * Accesses served per *training batch*: the client reads every
+     * path the batch needs, trains, then writes the whole path union
+     * back — the paper's deployment ("issues read requests to all the
+     * paths associated with the entries in the upcoming training
+     * batch", §IV-A). 0 serves each superblock bin individually.
+     * Larger batches amortise client round trips AND relieve stash
+     * pressure (the union write-back covers more nodes per write);
+     * bin granularity is what reproduces the paper's Fig. 8 stash
+     * growth regime.
+     */
+    std::uint64_t batchAccesses = 0;
+};
+
+/** Look-ahead ORAM engine. */
+class Laoram final : public oram::TreeOramBase
+{
+  public:
+    /** Callback applied to each member payload at bin-access time. */
+    using TouchFn =
+        std::function<void(BlockId, std::vector<std::uint8_t> &)>;
+
+    explicit Laoram(const LaoramConfig &cfg);
+
+    std::string name() const override;
+
+    /**
+     * Single-block access without look-ahead metadata: identical to
+     * PathORAM (a bin of size 1 with a random future path).
+     */
+    void access(BlockId id, oram::AccessOp op, const std::uint8_t *in,
+                std::size_t len, std::vector<std::uint8_t> *out) override;
+
+    /**
+     * Preprocess @p trace in look-ahead windows and serve it bin by
+     * bin — the paper's end-to-end flow.
+     */
+    void runTrace(const std::vector<BlockId> &trace) override;
+
+    /**
+     * Serve one preprocessed bin: read the distinct current paths of
+     * its members, touch every member, remap each to its future path,
+     * write the fetched paths back, then background-evict.
+     */
+    void accessBin(const SuperblockBin &bin);
+
+    /**
+     * Serve a run of consecutive bins as one training batch: one
+     * union read for every path the batch touches, all member touches
+     * and remaps, one union write-back, then background eviction.
+     */
+    void accessBatch(const SuperblockBin *bins, std::size_t count);
+
+    /** Install a payload hook (used by the training examples). */
+    void setTouchCallback(TouchFn fn) { touchFn = std::move(fn); }
+
+    const LaoramConfig &laoramConfig() const { return lcfg; }
+
+    /** Aggregate preprocessing statistics over runTrace() calls. */
+    std::uint64_t binsFormed() const { return nBins; }
+    std::uint64_t accessesPreprocessed() const { return nPreprocessed; }
+    std::uint64_t futureLinkedMembers() const { return nFutureLinked; }
+
+  private:
+    LaoramConfig lcfg;
+    Preprocessor prep;
+    TouchFn touchFn;
+
+    std::uint64_t nBins = 0;
+    std::uint64_t nPreprocessed = 0;
+    std::uint64_t nFutureLinked = 0;
+
+    std::vector<oram::Leaf> scratchLeaves;
+};
+
+} // namespace laoram::core
+
+#endif // LAORAM_CORE_LAORAM_CLIENT_HH

@@ -1,0 +1,85 @@
+#include "core/preprocessor.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace laoram::core {
+
+Preprocessor::Preprocessor(const PreprocessorConfig &cfg,
+                           std::uint64_t seed)
+    : cfg(cfg), rng(seed)
+{
+    LAORAM_ASSERT(cfg.superblockSize >= 1,
+                  "superblock size must be >= 1");
+    LAORAM_ASSERT(cfg.numLeaves >= 1, "preprocessor needs numLeaves");
+}
+
+PreprocessResult
+Preprocessor::run(const std::vector<BlockId> &stream) const
+{
+    return run(stream.data(), stream.data() + stream.size());
+}
+
+PreprocessResult
+Preprocessor::run(const BlockId *begin, const BlockId *end) const
+{
+    PreprocessResult res;
+    res.totalAccesses = static_cast<std::uint64_t>(end - begin);
+
+    // --- Step 1: dataset scan -> bins of S distinct ids. ---
+    std::unordered_set<BlockId> window_unique;
+    std::unordered_set<BlockId> open_members;
+    SuperblockBin open;
+    open.firstIndex = 0;
+
+    auto close_bin = [&](SuperblockBin &&bin) {
+        bin.path = rng.nextBounded(cfg.numLeaves);
+        res.bins.push_back(std::move(bin));
+        open_members.clear();
+    };
+
+    std::uint64_t index = 0;
+    for (const BlockId *p = begin; p != end; ++p, ++index) {
+        const BlockId id = *p;
+        window_unique.insert(id);
+        if (open.members.empty())
+            open.firstIndex = index;
+        ++open.rawAccesses;
+        if (open_members.insert(id).second)
+            open.members.push_back(id);
+        if (open.full(cfg.superblockSize)) {
+            close_bin(std::move(open));
+            open = SuperblockBin{};
+        }
+    }
+    if (!open.members.empty())
+        close_bin(std::move(open));
+
+    res.uniqueBlocks = window_unique.size();
+
+    // --- Step 2: future-path metadata via one backward sweep. ---
+    // nextPathOf[b] holds the path of the nearest *later* bin that
+    // contains b (later relative to the bin being processed).
+    std::unordered_map<BlockId, Leaf> nextPathOf;
+    nextPathOf.reserve(res.uniqueBlocks);
+    for (std::size_t i = res.bins.size(); i-- > 0;) {
+        SuperblockBin &bin = res.bins[i];
+        bin.nextPaths.resize(bin.members.size(), kNoFuturePath);
+        for (std::size_t j = 0; j < bin.members.size(); ++j) {
+            auto it = nextPathOf.find(bin.members[j]);
+            if (it != nextPathOf.end()) {
+                bin.nextPaths[j] = it->second;
+                ++res.futureLinked;
+            }
+        }
+        // Only now does this bin become "the next occurrence" for the
+        // bins that precede it.
+        for (BlockId id : bin.members)
+            nextPathOf[id] = bin.path;
+    }
+    return res;
+}
+
+} // namespace laoram::core

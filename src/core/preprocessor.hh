@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The LAORAM preprocessor (paper §IV-B).
+ *
+ * A trusted client-side component that scans upcoming training samples
+ * and emits superblock metadata:
+ *
+ *   1. *Dataset scan* — walk the future access stream, packing the
+ *      next S distinct embedding indices into a superblock bin
+ *      (duplicates inside an open bin collapse, matching the paper's
+ *      "identify unique indices" preprocessing).
+ *   2. *Superblock path generation* — draw one uniform path per bin,
+ *      then compute, for every bin member, the path of the next bin
+ *      that contains it (a single backward sweep). This
+ *      (superblock -> future path) metadata is what the trainer GPU
+ *      consumes.
+ *
+ * Security note (paper §VI-C): the preprocessor reads only encrypted
+ * training samples inside the trusted client; the entry values it
+ * extracts never touch untrusted memory, and path choices are uniform
+ * and independent of them.
+ */
+
+#ifndef LAORAM_CORE_PREPROCESSOR_HH
+#define LAORAM_CORE_PREPROCESSOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/superblock.hh"
+#include "util/rng.hh"
+
+namespace laoram::core {
+
+/** Preprocessor knobs. */
+struct PreprocessorConfig
+{
+    std::uint64_t superblockSize = 4; ///< S: distinct ids per bin
+    std::uint64_t numLeaves = 0;      ///< path-domain size (required)
+};
+
+/** Output of one preprocessing window. */
+struct PreprocessResult
+{
+    std::vector<SuperblockBin> bins;  ///< in stream order
+    std::uint64_t totalAccesses = 0;  ///< stream positions consumed
+    std::uint64_t uniqueBlocks = 0;   ///< distinct ids in the window
+    std::uint64_t futureLinked = 0;   ///< members with a known next path
+};
+
+/** Scans future access streams into superblock metadata. */
+class Preprocessor
+{
+  public:
+    Preprocessor(const PreprocessorConfig &cfg, std::uint64_t seed);
+
+    /**
+     * Preprocess one look-ahead window.
+     *
+     * @param stream future block accesses, in training order
+     * @return bins with paths and per-member future paths
+     */
+    PreprocessResult run(const std::vector<BlockId> &stream) const;
+
+    /** Same, over a sub-range [begin, end) of a larger trace. */
+    PreprocessResult run(const BlockId *begin, const BlockId *end) const;
+
+    const PreprocessorConfig &config() const { return cfg; }
+
+  private:
+    PreprocessorConfig cfg;
+    mutable Rng rng;
+};
+
+} // namespace laoram::core
+
+#endif // LAORAM_CORE_PREPROCESSOR_HH

@@ -1,0 +1,36 @@
+#include "core/superblock.hh"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace laoram::core {
+
+std::string
+validateBin(const SuperblockBin &bin)
+{
+    std::ostringstream err;
+    if (bin.members.empty()) {
+        err << "bin has no members";
+        return err.str();
+    }
+    if (bin.members.size() != bin.nextPaths.size()) {
+        err << "members/nextPaths size mismatch: " << bin.members.size()
+            << " vs " << bin.nextPaths.size();
+        return err.str();
+    }
+    if (bin.rawAccesses < bin.members.size()) {
+        err << "rawAccesses " << bin.rawAccesses
+            << " below member count " << bin.members.size();
+        return err.str();
+    }
+    std::unordered_set<BlockId> seen;
+    for (BlockId id : bin.members) {
+        if (!seen.insert(id).second) {
+            err << "duplicate member " << id;
+            return err.str();
+        }
+    }
+    return {};
+}
+
+} // namespace laoram::core

@@ -1,0 +1,98 @@
+#include "crypto/chacha20.hh"
+
+#include <cstring>
+
+namespace laoram::crypto {
+
+namespace {
+
+constexpr std::uint32_t
+rotl32(std::uint32_t x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+inline void
+quarterRound(std::uint32_t &a, std::uint32_t &b, std::uint32_t &c,
+             std::uint32_t &d)
+{
+    a += b; d ^= a; d = rotl32(d, 16);
+    c += d; b ^= c; b = rotl32(b, 12);
+    a += b; d ^= a; d = rotl32(d, 8);
+    c += d; b ^= c; b = rotl32(b, 7);
+}
+
+inline std::uint32_t
+load32le(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0])
+        | (static_cast<std::uint32_t>(p[1]) << 8)
+        | (static_cast<std::uint32_t>(p[2]) << 16)
+        | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void
+store32le(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+} // namespace
+
+void
+ChaCha20::block(const Key256 &key, const Nonce96 &nonce,
+                std::uint32_t counter, std::uint8_t out[blockBytes])
+{
+    // "expand 32-byte k" constants per RFC 8439 §2.3.
+    std::uint32_t state[16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for (int i = 0; i < 8; ++i)
+        state[4 + i] = load32le(key.data() + 4 * i);
+    state[12] = counter;
+    for (int i = 0; i < 3; ++i)
+        state[13 + i] = load32le(nonce.data() + 4 * i);
+
+    std::uint32_t x[16];
+    std::memcpy(x, state, sizeof(x));
+
+    for (int round = 0; round < 10; ++round) {
+        // column rounds
+        quarterRound(x[0], x[4], x[8], x[12]);
+        quarterRound(x[1], x[5], x[9], x[13]);
+        quarterRound(x[2], x[6], x[10], x[14]);
+        quarterRound(x[3], x[7], x[11], x[15]);
+        // diagonal rounds
+        quarterRound(x[0], x[5], x[10], x[15]);
+        quarterRound(x[1], x[6], x[11], x[12]);
+        quarterRound(x[2], x[7], x[8], x[13]);
+        quarterRound(x[3], x[4], x[9], x[14]);
+    }
+
+    for (int i = 0; i < 16; ++i)
+        store32le(out + 4 * i, x[i] + state[i]);
+}
+
+void
+ChaCha20::xorStream(const Key256 &key, const Nonce96 &nonce,
+                    std::uint32_t counter, std::uint8_t *data,
+                    std::size_t len)
+{
+    std::uint8_t keystream[blockBytes];
+    std::size_t off = 0;
+    while (off < len) {
+        block(key, nonce, counter++, keystream);
+        const std::size_t chunk =
+            (len - off < blockBytes) ? len - off : blockBytes;
+        for (std::size_t i = 0; i < chunk; ++i)
+            data[off + i] ^= keystream[i];
+        off += chunk;
+    }
+}
+
+} // namespace laoram::crypto

@@ -1,0 +1,68 @@
+#include "crypto/encryptor.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace laoram::crypto {
+
+Encryptor::Encryptor(const Key256 &key, std::uint64_t slots)
+    : isEnabled(true), key(key), epochs(slots, 0)
+{
+}
+
+Encryptor::Encryptor() : isEnabled(false) {}
+
+Encryptor
+Encryptor::makeDisabled()
+{
+    return Encryptor();
+}
+
+Nonce96
+Encryptor::nonceFor(std::uint64_t slot, std::uint32_t epoch) const
+{
+    // Nonce = slot id (8 bytes LE) || epoch (4 bytes LE): unique per
+    // (slot, write) pair, which is all a stream cipher needs.
+    Nonce96 nonce{};
+    for (int i = 0; i < 8; ++i)
+        nonce[i] = static_cast<std::uint8_t>(slot >> (8 * i));
+    for (int i = 0; i < 4; ++i)
+        nonce[8 + i] = static_cast<std::uint8_t>(epoch >> (8 * i));
+    return nonce;
+}
+
+void
+Encryptor::encryptSlot(std::uint64_t slot, std::uint8_t *data,
+                       std::size_t len)
+{
+    if (!isEnabled)
+        return;
+    LAORAM_ASSERT(slot < epochs.size(), "slot out of range");
+    ++epochs[slot];
+    ChaCha20::xorStream(key, nonceFor(slot, epochs[slot]), 0, data, len);
+}
+
+void
+Encryptor::decryptSlot(std::uint64_t slot, std::uint8_t *data,
+                       std::size_t len) const
+{
+    if (!isEnabled)
+        return;
+    LAORAM_ASSERT(slot < epochs.size(), "slot out of range");
+    ChaCha20::xorStream(key, nonceFor(slot, epochs[slot]), 0, data, len);
+}
+
+Key256
+Encryptor::deriveKey(std::uint64_t seed)
+{
+    Key256 k{};
+    std::uint64_t sm = seed;
+    for (int i = 0; i < 4; ++i) {
+        const std::uint64_t word = splitMix64(sm);
+        for (int b = 0; b < 8; ++b)
+            k[8 * i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+    return k;
+}
+
+} // namespace laoram::crypto

@@ -1,0 +1,16 @@
+#include "mem/sim_clock.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace laoram::mem {
+
+void
+SimClock::advanceNs(double ns)
+{
+    LAORAM_ASSERT(ns >= 0.0, "cannot advance clock backwards: ", ns);
+    ticks += static_cast<std::uint64_t>(std::llround(ns * 1e3));
+}
+
+} // namespace laoram::mem

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Simulated time base.
+ *
+ * The reproduction replaces the paper's wall-clock measurements on a
+ * Xeon + RTX 1080 Ti testbed with deterministic simulated time: engines
+ * advance a SimClock by cost-model nanoseconds for every server access.
+ * Integer picoseconds are used internally so accumulation is exact and
+ * runs are bit-reproducible.
+ */
+
+#ifndef LAORAM_MEM_SIM_CLOCK_HH
+#define LAORAM_MEM_SIM_CLOCK_HH
+
+#include <cstdint>
+
+namespace laoram::mem {
+
+/** Monotonic simulated clock with picosecond resolution. */
+class SimClock
+{
+  public:
+    /** Advance by @p ns nanoseconds (fractional ns are kept exactly). */
+    void advanceNs(double ns);
+
+    /** Advance by an exact picosecond count. */
+    void advancePs(std::uint64_t ps) { ticks += ps; }
+
+    std::uint64_t picoseconds() const { return ticks; }
+    double nanoseconds() const { return static_cast<double>(ticks) / 1e3; }
+    double microseconds() const { return static_cast<double>(ticks) / 1e6; }
+    double milliseconds() const { return static_cast<double>(ticks) / 1e9; }
+    double seconds() const { return static_cast<double>(ticks) / 1e12; }
+
+    void reset() { ticks = 0; }
+
+  private:
+    std::uint64_t ticks = 0; ///< picoseconds
+};
+
+} // namespace laoram::mem
+
+#endif // LAORAM_MEM_SIM_CLOCK_HH

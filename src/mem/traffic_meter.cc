@@ -1,0 +1,183 @@
+#include "mem/traffic_meter.hh"
+
+#include <ostream>
+
+namespace laoram::mem {
+
+double
+TrafficCounters::dummyReadsPerAccess() const
+{
+    if (logicalAccesses == 0)
+        return 0.0;
+    return static_cast<double>(dummyReads)
+        / static_cast<double>(logicalAccesses);
+}
+
+double
+TrafficCounters::pathReadsPerAccess() const
+{
+    if (logicalAccesses == 0)
+        return 0.0;
+    return static_cast<double>(pathReads)
+        / static_cast<double>(logicalAccesses);
+}
+
+TrafficCounters
+TrafficCounters::since(const TrafficCounters &start) const
+{
+    TrafficCounters d;
+    d.logicalAccesses = logicalAccesses - start.logicalAccesses;
+    d.pathReads = pathReads - start.pathReads;
+    d.pathWrites = pathWrites - start.pathWrites;
+    d.dummyReads = dummyReads - start.dummyReads;
+    d.blocksRead = blocksRead - start.blocksRead;
+    d.blocksWritten = blocksWritten - start.blocksWritten;
+    d.bytesRead = bytesRead - start.bytesRead;
+    d.bytesWritten = bytesWritten - start.bytesWritten;
+    d.stashPeak = stashPeak; // high-water mark is not interval-additive
+    d.stashHits = stashHits - start.stashHits;
+    d.reshuffles = reshuffles - start.reshuffles;
+    return d;
+}
+
+TrafficMeter::TrafficMeter(const CostModel &model) : model(model) {}
+
+void
+TrafficMeter::recordPathRead(std::uint64_t bytes, std::uint64_t blocks)
+{
+    ++c.pathReads;
+    c.blocksRead += blocks;
+    c.bytesRead += bytes;
+    clk.advanceNs(model.pathReadNs(bytes, blocks));
+}
+
+void
+TrafficMeter::recordPathWrite(std::uint64_t bytes, std::uint64_t blocks)
+{
+    ++c.pathWrites;
+    c.blocksWritten += blocks;
+    c.bytesWritten += bytes;
+    clk.advanceNs(model.pathWriteNs(bytes, blocks));
+}
+
+void
+TrafficMeter::recordBatchedPathReads(std::uint64_t paths,
+                                     std::uint64_t bytes,
+                                     std::uint64_t blocks)
+{
+    c.pathReads += paths;
+    c.blocksRead += blocks;
+    c.bytesRead += bytes;
+    clk.advanceNs(model.pathReadNs(bytes, blocks));
+}
+
+void
+TrafficMeter::recordBatchedPathWrites(std::uint64_t paths,
+                                      std::uint64_t bytes,
+                                      std::uint64_t blocks)
+{
+    c.pathWrites += paths;
+    c.blocksWritten += blocks;
+    c.bytesWritten += bytes;
+    clk.advanceNs(model.pathWriteNs(bytes, blocks));
+}
+
+void
+TrafficMeter::recordDummyAccess(std::uint64_t bytes, std::uint64_t blocks)
+{
+    ++c.dummyReads;
+    c.blocksRead += blocks;
+    c.bytesRead += bytes;
+    c.blocksWritten += blocks;
+    c.bytesWritten += bytes;
+    clk.advanceNs(model.dummyAccessNs(bytes, blocks));
+}
+
+void
+TrafficMeter::recordReshuffle(std::uint64_t bytesRead,
+                              std::uint64_t blocksRead,
+                              std::uint64_t bytesWritten,
+                              std::uint64_t blocksWritten)
+{
+    ++c.reshuffles;
+    c.blocksRead += blocksRead;
+    c.bytesRead += bytesRead;
+    c.blocksWritten += blocksWritten;
+    c.bytesWritten += bytesWritten;
+    clk.advanceNs(model.pathReadNs(bytesRead, blocksRead)
+                  + model.pathWriteNs(bytesWritten, blocksWritten));
+}
+
+void
+TrafficMeter::observeStashSize(std::uint64_t blocks)
+{
+    if (blocks > c.stashPeak)
+        c.stashPeak = blocks;
+}
+
+void
+TrafficMeter::reset()
+{
+    c = TrafficCounters{};
+    clk.reset();
+}
+
+void
+TrafficMeter::registerStats(StatRegistry &registry,
+                            const std::string &prefix) const
+{
+    auto formula = [&registry, this, &prefix](
+                       const char *name, const char *desc,
+                       auto getter) {
+        registry.formula(prefix + name, desc,
+                         [this, getter] { return getter(c); });
+    };
+    formula("logicalAccesses", "application block requests",
+            [](const TrafficCounters &x) {
+                return static_cast<double>(x.logicalAccesses);
+            });
+    formula("pathReads", "real path fetches",
+            [](const TrafficCounters &x) {
+                return static_cast<double>(x.pathReads);
+            });
+    formula("pathWrites", "path write-backs",
+            [](const TrafficCounters &x) {
+                return static_cast<double>(x.pathWrites);
+            });
+    formula("dummyReads", "background-eviction accesses",
+            [](const TrafficCounters &x) {
+                return static_cast<double>(x.dummyReads);
+            });
+    formula("bytesMoved", "total server bytes read+written",
+            [](const TrafficCounters &x) {
+                return static_cast<double>(x.totalBytes());
+            });
+    formula("stashPeak", "stash high-water mark",
+            [](const TrafficCounters &x) {
+                return static_cast<double>(x.stashPeak);
+            });
+    formula("dummyReadsPerAccess", "Table II metric",
+            [](const TrafficCounters &x) {
+                return x.dummyReadsPerAccess();
+            });
+    formula("pathReadsPerAccess", "look-ahead coalescing metric",
+            [](const TrafficCounters &x) {
+                return x.pathReadsPerAccess();
+            });
+    registry.formula(prefix + "simMs", "simulated milliseconds",
+                     [this] { return clk.milliseconds(); });
+}
+
+void
+TrafficMeter::printSummary(std::ostream &os, const char *label) const
+{
+    os << label << ": accesses=" << c.logicalAccesses
+       << " pathReads=" << c.pathReads
+       << " pathWrites=" << c.pathWrites
+       << " dummyReads=" << c.dummyReads
+       << " MBmoved=" << static_cast<double>(c.totalBytes()) / 1.0e6
+       << " stashPeak=" << c.stashPeak
+       << " simMs=" << clk.milliseconds() << "\n";
+}
+
+} // namespace laoram::mem

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Traffic accounting shared by every ORAM engine.
+ *
+ * Each engine owns a TrafficMeter and reports every server interaction
+ * through it; the meter feeds both the cost model (simulated time) and
+ * the paper's traffic metrics (Fig. 9 bandwidth reduction, Table II
+ * dummy reads per access, Fig. 8 stash growth).
+ */
+
+#ifndef LAORAM_MEM_TRAFFIC_METER_HH
+#define LAORAM_MEM_TRAFFIC_METER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "mem/cost_model.hh"
+#include "mem/sim_clock.hh"
+#include "util/stats.hh"
+
+namespace laoram::mem {
+
+/** Snapshot of all traffic counters (value-type; freely copyable). */
+struct TrafficCounters
+{
+    std::uint64_t logicalAccesses = 0; ///< application block requests
+    std::uint64_t pathReads = 0;       ///< real path fetches
+    std::uint64_t pathWrites = 0;      ///< path write-backs
+    std::uint64_t dummyReads = 0;      ///< background-eviction accesses
+    std::uint64_t blocksRead = 0;      ///< physical block slots read
+    std::uint64_t blocksWritten = 0;   ///< physical block slots written
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t stashPeak = 0;       ///< max blocks resident in stash
+    std::uint64_t stashHits = 0;       ///< requests served from stash
+    std::uint64_t reshuffles = 0;      ///< RingORAM bucket reshuffles
+
+    std::uint64_t totalBytes() const { return bytesRead + bytesWritten; }
+
+    double dummyReadsPerAccess() const;
+    double pathReadsPerAccess() const;
+
+    /** Element-wise difference (this - start), for interval metrics. */
+    TrafficCounters since(const TrafficCounters &start) const;
+};
+
+/**
+ * Live meter: counters + simulated clock + cost model.
+ *
+ * Engines call the record*() methods; harnesses read counters() and
+ * elapsed time.
+ */
+class TrafficMeter
+{
+  public:
+    explicit TrafficMeter(const CostModel &model);
+
+    void recordLogicalAccess() { ++c.logicalAccesses; }
+    /** Credit @p n logical accesses at once (superblock bins). */
+    void recordLogicalAccesses(std::uint64_t n) { c.logicalAccesses += n; }
+    void recordStashHit() { ++c.stashHits; }
+
+    /** A real path read of @p blocks slots totalling @p bytes. */
+    void recordPathRead(std::uint64_t bytes, std::uint64_t blocks);
+    /** A path write-back. */
+    void recordPathWrite(std::uint64_t bytes, std::uint64_t blocks);
+
+    /**
+     * A batched read of @p paths paths whose node-union totalled
+     * @p blocks slots / @p bytes (shared prefixes fetched once). The
+     * burst pays one request latency.
+     */
+    void recordBatchedPathReads(std::uint64_t paths, std::uint64_t bytes,
+                                std::uint64_t blocks);
+    /** Batched write-back of a path union. */
+    void recordBatchedPathWrites(std::uint64_t paths,
+                                 std::uint64_t bytes,
+                                 std::uint64_t blocks);
+    /** A dummy background-eviction access (full read + write). */
+    void recordDummyAccess(std::uint64_t bytes, std::uint64_t blocks);
+    /**
+     * A RingORAM bucket reshuffle: @p blocksRead valid blocks read and
+     * @p blocksWritten slots rewritten, charged without touching the
+     * path-read/path-write counters.
+     */
+    void recordReshuffle(std::uint64_t bytesRead, std::uint64_t blocksRead,
+                         std::uint64_t bytesWritten,
+                         std::uint64_t blocksWritten);
+    /** Track the stash high-water mark. */
+    void observeStashSize(std::uint64_t blocks);
+
+    const TrafficCounters &counters() const { return c; }
+    const SimClock &clock() const { return clk; }
+    const CostModel &costModel() const { return model; }
+
+    void reset();
+
+    /** Human-readable one-block summary. */
+    void printSummary(std::ostream &os, const char *label) const;
+
+    /**
+     * Publish this meter into a StatRegistry under @p prefix (e.g.
+     * "laoram."): counters are exported as formulas evaluated at dump
+     * time, so one registration stays live for the whole run.
+     */
+    void registerStats(StatRegistry &registry,
+                       const std::string &prefix) const;
+
+  private:
+    CostModel model;
+    SimClock clk;
+    TrafficCounters c;
+};
+
+} // namespace laoram::mem
+
+#endif // LAORAM_MEM_TRAFFIC_METER_HH

@@ -1,0 +1,146 @@
+#include "oram/engine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace laoram::oram {
+
+OramEngine::OramEngine(const EngineConfig &cfg)
+    : cfg(cfg),
+      geom(cfg.numBlocks, cfg.blockBytes, cfg.profile),
+      mtr(mem::CostModel(cfg.cost)),
+      rng(cfg.seed)
+{
+    LAORAM_ASSERT(cfg.stashLowWater <= cfg.stashHighWater,
+                  "eviction low-water above high-water");
+}
+
+void
+OramEngine::readBlock(BlockId id, std::vector<std::uint8_t> &out)
+{
+    access(id, AccessOp::Read, nullptr, 0, &out);
+}
+
+void
+OramEngine::writeBlock(BlockId id, const std::vector<std::uint8_t> &data)
+{
+    access(id, AccessOp::Write, data.data(), data.size(), nullptr);
+}
+
+void
+OramEngine::runTrace(const std::vector<BlockId> &trace)
+{
+    for (BlockId id : trace)
+        touch(id);
+}
+
+TreeOramBase::TreeOramBase(const EngineConfig &cfg)
+    : OramEngine(cfg),
+      storage_(geom, cfg.payloadBytes, cfg.encrypt, cfg.seed ^ 0xC0FFEE),
+      posmap_(cfg.numBlocks, geom.numLeaves(), rng),
+      stash_(),
+      pathIo_(geom, storage_, stash_)
+{
+}
+
+void
+OramEngine::applyOp(StashEntry &entry, AccessOp op,
+                    const std::uint8_t *in, std::size_t len,
+                    std::vector<std::uint8_t> *out) const
+{
+    switch (op) {
+      case AccessOp::Touch:
+        break;
+      case AccessOp::Read:
+        if (out)
+            *out = entry.payload;
+        break;
+      case AccessOp::Write: {
+        LAORAM_ASSERT(len <= cfg.payloadBytes, "write of ", len,
+                      " B exceeds payload capacity ", cfg.payloadBytes);
+        entry.payload.assign(cfg.payloadBytes, 0);
+        if (in && len > 0)
+            std::copy(in, in + len, entry.payload.begin());
+        break;
+      }
+    }
+}
+
+StashEntry &
+TreeOramBase::stashEntryFor(BlockId id, Leaf leaf)
+{
+    if (StashEntry *entry = stash_.find(id)) {
+        entry->leaf = leaf;
+        return *entry;
+    }
+    auto &entry = stash_.put(id, leaf);
+    entry.payload.assign(cfg.payloadBytes, 0);
+    return entry;
+}
+
+void
+TreeOramBase::readPathMetered(Leaf leaf)
+{
+    pathIo_.readPath(leaf);
+    mtr.recordPathRead(geom.pathBytes(), geom.pathSlots());
+}
+
+void
+TreeOramBase::writePathMetered(Leaf leaf)
+{
+    pathIo_.writePath(leaf);
+    mtr.recordPathWrite(geom.pathBytes(), geom.pathSlots());
+}
+
+void
+TreeOramBase::readPathsBatchedMetered(const std::vector<Leaf> &leaves)
+{
+    if (leaves.empty())
+        return;
+    const std::uint64_t slots = pathIo_.readPathsBatched(leaves);
+    mtr.recordBatchedPathReads(leaves.size(), slots * cfg.blockBytes,
+                               slots);
+}
+
+void
+TreeOramBase::writePathsBatchedMetered(const std::vector<Leaf> &leaves)
+{
+    if (leaves.empty())
+        return;
+    const std::uint64_t slots = pathIo_.writePathsBatched(leaves);
+    mtr.recordBatchedPathWrites(leaves.size(), slots * cfg.blockBytes,
+                                slots);
+}
+
+void
+TreeOramBase::backgroundEvict()
+{
+    if (stash_.size() <= cfg.stashHighWater)
+        return;
+
+    // Capacity trumps retention: prefetch pins are dropped before the
+    // client starts paying for dummy accesses.
+    stash_.unpinAll();
+
+    // Safety valve: with a pathological configuration (e.g. tree
+    // capacity below the working set) the stash cannot drain; cap the
+    // dummy burst instead of spinning forever.
+    constexpr std::uint64_t kMaxDummiesPerBurst = 100000;
+    std::uint64_t issued = 0;
+    while (stash_.size() > cfg.stashLowWater
+           && issued < kMaxDummiesPerBurst) {
+        const Leaf leaf = randomLeaf();
+        pathIo_.readPath(leaf);
+        pathIo_.writePath(leaf);
+        mtr.recordDummyAccess(geom.pathBytes(), geom.pathSlots());
+        ++issued;
+    }
+    if (issued == kMaxDummiesPerBurst) {
+        warn("background eviction could not drain stash below ",
+             cfg.stashLowWater, " (still ", stash_.size(),
+             " blocks) after ", issued, " dummy accesses");
+    }
+}
+
+} // namespace laoram::oram

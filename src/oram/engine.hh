@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Common engine interface and the shared tree-ORAM base class.
+ *
+ * Every address-hiding scheme in this repository (PathORAM, PrORAM
+ * static/dynamic, RingORAM, LAORAM) implements OramEngine, so the
+ * benchmark harness can run identical traces through interchangeable
+ * engines and compare the traffic meters.
+ */
+
+#ifndef LAORAM_ORAM_ENGINE_HH
+#define LAORAM_ORAM_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/cost_model.hh"
+#include "mem/traffic_meter.hh"
+#include "oram/evictor.hh"
+#include "oram/position_map.hh"
+#include "oram/server_storage.hh"
+#include "oram/stash.hh"
+#include "oram/tree_geometry.hh"
+#include "oram/types.hh"
+#include "util/rng.hh"
+
+namespace laoram::oram {
+
+/** Configuration shared by all engines. */
+struct EngineConfig
+{
+    std::uint64_t numBlocks = 1024;  ///< logical blocks to protect
+    std::uint64_t blockBytes = 128;  ///< logical block size (accounting)
+    std::uint64_t payloadBytes = 0;  ///< physically stored payload bytes
+    BucketProfile profile = BucketProfile::uniform(4);
+    std::uint64_t stashHighWater = 500; ///< background-eviction trigger
+    std::uint64_t stashLowWater = 50;   ///< background-eviction target
+    bool encrypt = false;            ///< ChaCha20 at-rest encryption
+    std::uint64_t seed = 1;          ///< master RNG seed
+    mem::CostModelParams cost{};     ///< latency/bandwidth model
+};
+
+/**
+ * Abstract address-hiding engine.
+ *
+ * A logical access touches one block id; the engine translates it into
+ * oblivious server traffic and charges the traffic meter. Engines with
+ * payload support move real bytes; with payloadBytes == 0 they degrade
+ * to pure access-pattern simulators (all paper metrics are
+ * pattern-level).
+ */
+class OramEngine
+{
+  public:
+    explicit OramEngine(const EngineConfig &cfg);
+    virtual ~OramEngine() = default;
+
+    OramEngine(const OramEngine &) = delete;
+    OramEngine &operator=(const OramEngine &) = delete;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Perform one logical access.
+     *
+     * @param id  block to touch (< numBlocks)
+     * @param op  Read / Write / Touch
+     * @param in  payload for writes (may be null for Touch/Read)
+     * @param len payload length for writes
+     * @param out filled with the block's payload on reads (optional)
+     */
+    virtual void access(BlockId id, AccessOp op,
+                        const std::uint8_t *in, std::size_t len,
+                        std::vector<std::uint8_t> *out) = 0;
+
+    /** Convenience wrappers. */
+    void touch(BlockId id) { access(id, AccessOp::Touch, nullptr, 0,
+                                    nullptr); }
+    void readBlock(BlockId id, std::vector<std::uint8_t> &out);
+    void writeBlock(BlockId id, const std::vector<std::uint8_t> &data);
+
+    /**
+     * Run a whole address trace. The default walks the trace one touch
+     * at a time; LAORAM overrides it with preprocessing + superblock
+     * accesses.
+     */
+    virtual void runTrace(const std::vector<BlockId> &trace);
+
+    /** Blocks currently held in trusted client memory. */
+    virtual std::uint64_t stashSize() const = 0;
+
+    const TreeGeometry &geometry() const { return geom; }
+    const mem::TrafficMeter &meter() const { return mtr; }
+    const EngineConfig &config() const { return cfg; }
+
+  protected:
+    /**
+     * Apply a logical operation to a stash-resident block. Payloads are
+     * kept at exactly payloadBytes (zero-padded), so reads after short
+     * writes return the padded block, mirroring fixed-size ORAM slots.
+     */
+    void applyOp(StashEntry &entry, AccessOp op, const std::uint8_t *in,
+                 std::size_t len, std::vector<std::uint8_t> *out) const;
+
+    EngineConfig cfg;
+    TreeGeometry geom;
+    mem::TrafficMeter mtr;
+    Rng rng;
+};
+
+/**
+ * Shared machinery for the PathORAM-family engines: server storage,
+ * position map, stash, path I/O, metered path operations and the
+ * background-eviction (dummy read) loop of §II-E.
+ */
+class TreeOramBase : public OramEngine
+{
+  public:
+    explicit TreeOramBase(const EngineConfig &cfg);
+
+    std::uint64_t stashSize() const override { return stash_.size(); }
+
+    /** Test hooks: expose internals for invariant auditing. */
+    const ServerStorage &storageForAudit() const { return storage_; }
+    const Stash &stashForAudit() const { return stash_; }
+    const PositionMap &posmapForAudit() const { return posmap_; }
+
+    /** Mutable storage access for installing test access sinks. */
+    ServerStorage &storageForTest() { return storage_; }
+
+  protected:
+    /**
+     * Fetch @p id's stash entry, creating a zero-filled one on first
+     * touch (blocks are lazily initialised: an unwritten block reads as
+     * zeros).
+     */
+    StashEntry &stashEntryFor(BlockId id, Leaf leaf);
+
+    /** Read @p leaf's path into the stash and charge the meter. */
+    void readPathMetered(Leaf leaf);
+
+    /** Write @p leaf's path back from the stash and charge the meter. */
+    void writePathMetered(Leaf leaf);
+
+    /**
+     * Batched union read/write of several paths (superblock bins,
+     * PrORAM merges). Required for correctness when paths overlap —
+     * see PathIo::writePathsBatched.
+     */
+    void readPathsBatchedMetered(const std::vector<Leaf> &leaves);
+    void writePathsBatchedMetered(const std::vector<Leaf> &leaves);
+
+    /**
+     * Issue dummy accesses (random path read + write-back, no remap)
+     * while the stash exceeds the high-water mark, draining to the
+     * low-water mark (§II-E; Table II experiment uses 500 -> 50).
+     */
+    void backgroundEvict();
+
+    /** Draw a uniform leaf. */
+    Leaf randomLeaf() { return rng.nextBounded(geom.numLeaves()); }
+
+    ServerStorage storage_;
+    PositionMap posmap_;
+    Stash stash_;
+    PathIo pathIo_;
+};
+
+} // namespace laoram::oram
+
+#endif // LAORAM_ORAM_ENGINE_HH

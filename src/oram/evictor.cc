@@ -1,0 +1,246 @@
+#include "oram/evictor.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace laoram::oram {
+
+PathIo::PathIo(const TreeGeometry &geom, ServerStorage &storage,
+               Stash &stash)
+    : geom(geom), storage(storage), stash(stash)
+{
+    byLevel.resize(geom.numLevels());
+}
+
+std::uint64_t
+PathIo::readPath(Leaf leaf)
+{
+    std::uint64_t absorbed = 0;
+    for (unsigned level = 0; level < geom.numLevels(); ++level) {
+        const NodeIndex node = geom.pathNode(leaf, level);
+        const std::uint64_t base = geom.nodeSlotBase(node);
+        const std::uint64_t z = geom.bucketSize(level);
+        for (std::uint64_t s = 0; s < z; ++s) {
+            storage.readSlot(base + s, scratch);
+            if (scratch.isDummy())
+                continue;
+            // A block must never be duplicated between tree and stash.
+            LAORAM_ASSERT(!stash.contains(scratch.id),
+                          "block ", scratch.id,
+                          " found in tree while stashed");
+            stash.put(scratch.id, scratch.leaf,
+                      std::move(scratch.payload));
+            ++absorbed;
+        }
+    }
+    return absorbed;
+}
+
+std::uint64_t
+PathIo::writePath(Leaf leaf)
+{
+    const unsigned levels = geom.numLevels();
+    for (auto &bucket : byLevel)
+        bucket.clear();
+    pool.clear();
+
+    // Bucket every evictable stash block by the deepest level of this
+    // path where its own assigned path still overlaps. Pinned entries
+    // are retained client-side.
+    for (const auto &[id, entry] : stash) {
+        if (entry.pinned)
+            continue;
+        byLevel[geom.commonLevel(entry.leaf, leaf)].push_back(id);
+    }
+
+    std::uint64_t written = 0;
+    for (unsigned level = levels; level-- > 0;) {
+        // Blocks eligible at deeper levels that did not fit spill into
+        // `pool` and remain eligible here.
+        for (BlockId id : byLevel[level])
+            pool.push_back(id);
+
+        const NodeIndex node = geom.pathNode(leaf, level);
+        const std::uint64_t base = geom.nodeSlotBase(node);
+        const std::uint64_t z = geom.bucketSize(level);
+        std::uint64_t filled = 0;
+        while (filled < z && !pool.empty()) {
+            const BlockId id = pool.back();
+            pool.pop_back();
+            StashEntry *entry = stash.find(id);
+            LAORAM_ASSERT(entry, "stash entry vanished during eviction");
+            storage.writeSlot(base + filled, id, entry->leaf,
+                              entry->payload.data(),
+                              entry->payload.size());
+            stash.erase(id);
+            ++filled;
+            ++written;
+        }
+        for (std::uint64_t s = filled; s < z; ++s)
+            storage.writeDummy(base + s);
+    }
+    return written;
+}
+
+std::vector<NodeIndex>
+PathIo::pathUnion(const std::vector<Leaf> &leaves) const
+{
+    std::vector<NodeIndex> nodes;
+    nodes.reserve(leaves.size() * geom.numLevels());
+    for (Leaf leaf : leaves)
+        for (unsigned level = 0; level < geom.numLevels(); ++level)
+            nodes.push_back(geom.pathNode(leaf, level));
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    // Heap indices grow with level, so descending index order is
+    // deepest-first — exactly the greedy write-back order.
+    std::reverse(nodes.begin(), nodes.end());
+    return nodes;
+}
+
+std::uint64_t
+PathIo::readPathsBatched(const std::vector<Leaf> &leaves)
+{
+    std::uint64_t slots_read = 0;
+    for (NodeIndex node : pathUnion(leaves)) {
+        const std::uint64_t base = geom.nodeSlotBase(node);
+        const std::uint64_t z = geom.bucketSize(geom.nodeLevel(node));
+        for (std::uint64_t s = 0; s < z; ++s) {
+            storage.readSlot(base + s, scratch);
+            ++slots_read;
+            if (scratch.isDummy())
+                continue;
+            LAORAM_ASSERT(!stash.contains(scratch.id),
+                          "block ", scratch.id,
+                          " found in tree while stashed");
+            stash.put(scratch.id, scratch.leaf,
+                      std::move(scratch.payload));
+        }
+    }
+    return slots_read;
+}
+
+std::uint64_t
+PathIo::writePathsBatched(const std::vector<Leaf> &leaves)
+{
+    const std::vector<NodeIndex> nodes = pathUnion(leaves);
+
+    // Seed every stash block at the deepest union node it may occupy:
+    // the node realising max over leaves of commonLevel(block, leaf).
+    // The maximiser shares the longest bit-prefix with the block's
+    // leaf, so for a sorted leaf set it is always a lower_bound
+    // neighbour — O(log k) per block instead of O(k).
+    std::vector<Leaf> sorted_leaves(leaves);
+    std::sort(sorted_leaves.begin(), sorted_leaves.end());
+
+    std::unordered_map<NodeIndex, std::vector<BlockId>> pending;
+    for (const auto &[id, entry] : stash) {
+        if (entry.pinned)
+            continue;
+        auto it = std::lower_bound(sorted_leaves.begin(),
+                                   sorted_leaves.end(), entry.leaf);
+        unsigned best_level = 0;
+        Leaf best_leaf = sorted_leaves.front();
+        bool found = false;
+        auto consider = [&](Leaf leaf) {
+            const unsigned cl = geom.commonLevel(entry.leaf, leaf);
+            if (!found || cl > best_level) {
+                best_level = cl;
+                best_leaf = leaf;
+                found = true;
+            }
+        };
+        if (it != sorted_leaves.end())
+            consider(*it);
+        if (it != sorted_leaves.begin())
+            consider(*std::prev(it));
+        pending[geom.pathNode(best_leaf, best_level)].push_back(id);
+    }
+
+    // Deepest-first fill; leftovers spill to the parent node, which is
+    // in the union because path unions are ancestor-closed.
+    std::uint64_t slots_written = 0;
+    for (NodeIndex node : nodes) {
+        auto &candidates = pending[node];
+        const std::uint64_t base = geom.nodeSlotBase(node);
+        const std::uint64_t z = geom.bucketSize(geom.nodeLevel(node));
+        std::uint64_t filled = 0;
+        while (filled < z && !candidates.empty()) {
+            const BlockId id = candidates.back();
+            candidates.pop_back();
+            StashEntry *entry = stash.find(id);
+            LAORAM_ASSERT(entry, "stash entry vanished during eviction");
+            storage.writeSlot(base + filled, id, entry->leaf,
+                              entry->payload.data(),
+                              entry->payload.size());
+            stash.erase(id);
+            ++filled;
+        }
+        for (std::uint64_t s = filled; s < z; ++s)
+            storage.writeDummy(base + s);
+        slots_written += z;
+
+        if (!candidates.empty() && node != 0) {
+            auto &parent = pending[(node - 1) / 2];
+            parent.insert(parent.end(), candidates.begin(),
+                          candidates.end());
+            candidates.clear();
+        }
+        // Leftovers at the root simply stay in the stash.
+    }
+    return slots_written;
+}
+
+std::string
+auditTree(const TreeGeometry &geom, const ServerStorage &storage,
+          const Stash &stash, const PositionMap &posmap)
+{
+    std::ostringstream err;
+    std::unordered_set<BlockId> seen;
+    StoredBlock b;
+
+    for (NodeIndex node = 0; node < geom.numNodes(); ++node) {
+        const unsigned level = geom.nodeLevel(node);
+        const std::uint64_t base = geom.nodeSlotBase(node);
+        const std::uint64_t z = geom.bucketSize(level);
+        for (std::uint64_t s = 0; s < z; ++s) {
+            storage.readSlot(base + s, b);
+            if (b.isDummy())
+                continue;
+            if (!seen.insert(b.id).second) {
+                err << "block " << b.id << " duplicated in tree";
+                return err.str();
+            }
+            if (stash.contains(b.id)) {
+                err << "block " << b.id << " in both tree and stash";
+                return err.str();
+            }
+            const Leaf mapped = posmap.get(b.id);
+            if (b.leaf != mapped) {
+                err << "block " << b.id << " stored leaf " << b.leaf
+                    << " != posmap leaf " << mapped;
+                return err.str();
+            }
+            if (geom.pathNode(mapped, level) != node) {
+                err << "block " << b.id << " at node " << node
+                    << " not on path of leaf " << mapped;
+                return err.str();
+            }
+        }
+    }
+
+    for (const auto &[id, entry] : stash) {
+        if (entry.leaf != posmap.get(id)) {
+            err << "stashed block " << id << " leaf " << entry.leaf
+                << " != posmap leaf " << posmap.get(id);
+            return err.str();
+        }
+    }
+    return {};
+}
+
+} // namespace laoram::oram

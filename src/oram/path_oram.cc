@@ -1,0 +1,41 @@
+#include "oram/path_oram.hh"
+
+#include "util/logging.hh"
+
+namespace laoram::oram {
+
+PathOram::PathOram(const EngineConfig &cfg) : TreeOramBase(cfg) {}
+
+void
+PathOram::access(BlockId id, AccessOp op, const std::uint8_t *in,
+                 std::size_t len, std::vector<std::uint8_t> *out)
+{
+    LAORAM_ASSERT(id < cfg.numBlocks, "block ", id, " out of range");
+    mtr.recordLogicalAccess();
+
+    // (1) Look up the current path; even a stash-resident block incurs
+    // a full path access so that the server-visible pattern stays
+    // independent of stash state.
+    const Leaf current = posmap_.get(id);
+    if (stash_.contains(id))
+        mtr.recordStashHit();
+
+    // (2) Fetch the path.
+    readPathMetered(current);
+
+    // (3)+(4) Remap to an independent uniform leaf, then operate on
+    // the block inside trusted memory.
+    const Leaf next = randomLeaf();
+    posmap_.set(id, next);
+    StashEntry &entry = stashEntryFor(id, next);
+    applyOp(entry, op, in, len, out);
+
+    // (5) Greedy write-back along the path just read.
+    writePathMetered(current);
+
+    // §II-E: dummy reads once the stash passes its threshold.
+    backgroundEvict();
+    mtr.observeStashSize(stash_.size());
+}
+
+} // namespace laoram::oram

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * PathORAM (Stefanov et al.) — the baseline engine of the paper.
+ *
+ * Each logical access: look up the block's leaf, remap it to a fresh
+ * uniform leaf, read the whole old path into the stash, perform the
+ * operation, write the path back greedily, then run background
+ * eviction if the stash exceeds its high-water mark. The paper treats
+ * PathORAM as "LAORAM with superblock size 1" (§VII-B).
+ */
+
+#ifndef LAORAM_ORAM_PATH_ORAM_HH
+#define LAORAM_ORAM_PATH_ORAM_HH
+
+#include "oram/engine.hh"
+
+namespace laoram::oram {
+
+/** Classic PathORAM client over a (possibly fat) storage tree. */
+class PathOram final : public TreeOramBase
+{
+  public:
+    explicit PathOram(const EngineConfig &cfg);
+
+    std::string name() const override { return "PathORAM"; }
+
+    void access(BlockId id, AccessOp op, const std::uint8_t *in,
+                std::size_t len, std::vector<std::uint8_t> *out) override;
+};
+
+} // namespace laoram::oram
+
+#endif // LAORAM_ORAM_PATH_ORAM_HH

@@ -1,0 +1,32 @@
+#include "oram/position_map.hh"
+
+#include "util/logging.hh"
+
+namespace laoram::oram {
+
+PositionMap::PositionMap(std::uint64_t numBlocks, std::uint64_t numLeaves,
+                         Rng &rng)
+    : map(numBlocks)
+{
+    LAORAM_ASSERT(numLeaves > 0, "need at least one leaf");
+    for (auto &leaf : map)
+        leaf = rng.nextBounded(numLeaves);
+}
+
+Leaf
+PositionMap::get(BlockId id) const
+{
+    LAORAM_ASSERT(id < map.size(), "block ", id, " beyond map size ",
+                  map.size());
+    return map[id];
+}
+
+void
+PositionMap::set(BlockId id, Leaf leaf)
+{
+    LAORAM_ASSERT(id < map.size(), "block ", id, " beyond map size ",
+                  map.size());
+    map[id] = leaf;
+}
+
+} // namespace laoram::oram

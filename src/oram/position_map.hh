@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Client-side position map: block id -> currently assigned leaf.
+ *
+ * In the paper's architecture this lives in the trainer GPU's HBM and
+ * is invisible to the adversary. It is a dense array because block ids
+ * are dense embedding-table row numbers.
+ */
+
+#ifndef LAORAM_ORAM_POSITION_MAP_HH
+#define LAORAM_ORAM_POSITION_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "oram/types.hh"
+#include "util/rng.hh"
+
+namespace laoram::oram {
+
+/** Dense block -> leaf map with uniform random initialisation. */
+class PositionMap
+{
+  public:
+    /**
+     * Map every block to an independent uniform leaf, as required for
+     * PathORAM's initial state.
+     */
+    PositionMap(std::uint64_t numBlocks, std::uint64_t numLeaves,
+                Rng &rng);
+
+    Leaf get(BlockId id) const;
+    void set(BlockId id, Leaf leaf);
+
+    std::uint64_t size() const { return map.size(); }
+
+    /** Client memory consumed by the map (for footprint reports). */
+    std::uint64_t residentBytes() const
+    {
+        return map.size() * sizeof(Leaf);
+    }
+
+  private:
+    std::vector<Leaf> map;
+};
+
+} // namespace laoram::oram
+
+#endif // LAORAM_ORAM_POSITION_MAP_HH

@@ -1,0 +1,244 @@
+#include "oram/pro_oram.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace laoram::oram {
+
+StaticSuperblockOram::StaticSuperblockOram(
+    const StaticSuperblockConfig &cfg)
+    : TreeOramBase(cfg.base), sbSize(cfg.superblockSize)
+{
+    LAORAM_ASSERT(sbSize >= 1, "superblock size must be >= 1");
+    // Static superblocks require group-consistent initial positions:
+    // every member of an aligned group starts on the group's leaf.
+    for (BlockId base = 0; base < this->cfg.numBlocks; base += sbSize) {
+        const Leaf shared = posmap_.get(base);
+        const BlockId end =
+            std::min(base + sbSize, this->cfg.numBlocks);
+        for (BlockId m = base + 1; m < end; ++m)
+            posmap_.set(m, shared);
+    }
+}
+
+std::string
+StaticSuperblockOram::name() const
+{
+    return "PrORAM-static/S" + std::to_string(sbSize);
+}
+
+BlockId
+StaticSuperblockOram::groupBase(BlockId id) const
+{
+    return (id / sbSize) * sbSize;
+}
+
+BlockId
+StaticSuperblockOram::groupEnd(BlockId id) const
+{
+    return std::min(groupBase(id) + sbSize, cfg.numBlocks);
+}
+
+void
+StaticSuperblockOram::access(BlockId id, AccessOp op,
+                             const std::uint8_t *in, std::size_t len,
+                             std::vector<std::uint8_t> *out)
+{
+    LAORAM_ASSERT(id < cfg.numBlocks, "block ", id, " out of range");
+    mtr.recordLogicalAccess();
+
+    // Superblock prefetch hit: the group fetch that brought this block
+    // in already paid the path access; serve it from trusted memory
+    // (the same accounting PrORAM and LAORAM bins use). With S == 1
+    // there is no prefetching and the engine degenerates to exact
+    // PathORAM behaviour.
+    if (sbSize > 1) {
+        if (StashEntry *entry = stash_.find(id)) {
+            mtr.recordStashHit();
+            entry->pinned = false; // pending access served
+            applyOp(*entry, op, in, len, out);
+            mtr.observeStashSize(stash_.size());
+            return;
+        }
+    }
+
+    const Leaf current = posmap_.get(id); // shared by the whole group
+
+    readPathMetered(current);
+
+    // The whole superblock moves together to one fresh uniform leaf;
+    // members other than the accessed one stay pinned client-side
+    // until their expected accesses arrive (prefetch retention).
+    const Leaf next = randomLeaf();
+    for (BlockId m = groupBase(id); m < groupEnd(id); ++m) {
+        posmap_.set(m, next);
+        StashEntry &entry = stashEntryFor(m, next);
+        if (m == id)
+            applyOp(entry, op, in, len, out);
+        else if (sbSize > 1)
+            entry.pinned = true;
+    }
+
+    writePathMetered(current);
+    backgroundEvict();
+    mtr.observeStashSize(stash_.size());
+}
+
+ProOram::ProOram(const ProOramConfig &cfg)
+    : TreeOramBase(cfg.base), pcfg(cfg),
+      groups(divCeil(cfg.base.numBlocks, cfg.groupSize))
+{
+    LAORAM_ASSERT(pcfg.groupSize >= 1, "group size must be >= 1");
+    LAORAM_ASSERT(pcfg.splitThreshold < pcfg.mergeThreshold,
+                  "split threshold must sit below merge threshold");
+}
+
+std::string
+ProOram::name() const
+{
+    return "PrORAM/S" + std::to_string(pcfg.groupSize);
+}
+
+BlockId
+ProOram::groupBase(BlockId id) const
+{
+    return (id / pcfg.groupSize) * pcfg.groupSize;
+}
+
+BlockId
+ProOram::groupEnd(BlockId id) const
+{
+    return std::min(groupBase(id) + pcfg.groupSize, cfg.numBlocks);
+}
+
+void
+ProOram::mergeGroup(BlockId id, AccessOp op, const std::uint8_t *in,
+                    std::size_t len, std::vector<std::uint8_t> *out)
+{
+    // Fusing a group requires co-locating members that currently live
+    // on unrelated paths: fetch the union of member paths, then remap
+    // everyone to one fresh leaf and write the union back.
+    std::vector<Leaf> leaves;
+    for (BlockId m = groupBase(id); m < groupEnd(id); ++m)
+        leaves.push_back(posmap_.get(m));
+    std::sort(leaves.begin(), leaves.end());
+    leaves.erase(std::unique(leaves.begin(), leaves.end()),
+                 leaves.end());
+
+    readPathsBatchedMetered(leaves);
+
+    const Leaf next = randomLeaf();
+    for (BlockId m = groupBase(id); m < groupEnd(id); ++m) {
+        posmap_.set(m, next);
+        StashEntry &entry = stashEntryFor(m, next);
+        if (m == id)
+            applyOp(entry, op, in, len, out);
+        else
+            entry.pinned = true; // retain for the predicted accesses
+    }
+
+    writePathsBatchedMetered(leaves);
+
+    auto &g = groups[id / pcfg.groupSize];
+    g.merged = true;
+    ++nMerged;
+    ++nMergeEvents;
+}
+
+void
+ProOram::splitGroup(BlockId id)
+{
+    // Splitting is free at split time: members simply stop moving
+    // together; each regains an independent leaf on its next access.
+    // Retention pins are released — the prediction was withdrawn.
+    auto &g = groups[id / pcfg.groupSize];
+    g.merged = false;
+    --nMerged;
+    ++nSplitEvents;
+    for (BlockId m = groupBase(id); m < groupEnd(id); ++m) {
+        if (StashEntry *entry = stash_.find(m))
+            entry->pinned = false;
+    }
+}
+
+void
+ProOram::access(BlockId id, AccessOp op, const std::uint8_t *in,
+                std::size_t len, std::vector<std::uint8_t> *out)
+{
+    LAORAM_ASSERT(id < cfg.numBlocks, "block ", id, " out of range");
+    mtr.recordLogicalAccess();
+    ++accessIndex;
+
+    auto &g = groups[id / pcfg.groupSize];
+
+    // Spatial-locality counter (PrORAM §4): recent activity on the
+    // group raises it, silence decays it.
+    if (g.everAccessed
+        && accessIndex - g.lastAccess <= pcfg.window) {
+        g.counter = std::min(g.counter + 1, pcfg.counterCap);
+    } else {
+        g.counter = std::max(g.counter - 1, 0);
+    }
+    g.lastAccess = accessIndex;
+    g.everAccessed = true;
+
+    if (g.merged && g.counter <= pcfg.splitThreshold)
+        splitGroup(id);
+
+    // Superblock prefetch hit on a fused group: served client-side,
+    // exactly like a LAORAM bin member (the fetch that stashed it
+    // already paid the oblivious access).
+    if (g.merged) {
+        if (StashEntry *entry = stash_.find(id)) {
+            mtr.recordStashHit();
+            entry->pinned = false; // pending access served
+            applyOp(*entry, op, in, len, out);
+            mtr.observeStashSize(stash_.size());
+            return;
+        }
+    }
+
+    if (!g.merged && g.counter >= pcfg.mergeThreshold) {
+        // Merge performs the fetch of every member (including `id`)
+        // and applies the pending operation, so the logical access
+        // completes inside it.
+        if (stash_.contains(id))
+            mtr.recordStashHit();
+        mergeGroup(id, op, in, len, out);
+        backgroundEvict();
+        mtr.observeStashSize(stash_.size());
+        return;
+    }
+
+    const Leaf current = posmap_.get(id);
+    if (stash_.contains(id))
+        mtr.recordStashHit();
+    readPathMetered(current);
+
+    const Leaf next = randomLeaf();
+    if (g.merged) {
+        // Fused group: everyone shares `current` and moves together;
+        // unaccessed members stay pinned for their predicted turns.
+        for (BlockId m = groupBase(id); m < groupEnd(id); ++m) {
+            posmap_.set(m, next);
+            StashEntry &entry = stashEntryFor(m, next);
+            if (m == id)
+                applyOp(entry, op, in, len, out);
+            else
+                entry.pinned = true;
+        }
+    } else {
+        posmap_.set(id, next);
+        StashEntry &entry = stashEntryFor(id, next);
+        applyOp(entry, op, in, len, out);
+    }
+
+    writePathMetered(current);
+    backgroundEvict();
+    mtr.observeStashSize(stash_.size());
+}
+
+} // namespace laoram::oram

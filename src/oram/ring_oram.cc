@@ -1,0 +1,274 @@
+#include "oram/ring_oram.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace laoram::oram {
+
+namespace {
+
+EngineConfig
+withRingProfile(const RingOramConfig &rc)
+{
+    // Slot layout: every bucket physically holds realZ + dummies slots.
+    EngineConfig c = rc.base;
+    c.profile = BucketProfile::uniform(rc.realZ + rc.dummies);
+    return c;
+}
+
+} // namespace
+
+RingOram::RingOram(const RingOramConfig &cfg)
+    : OramEngine(withRingProfile(cfg)),
+      rcfg(cfg),
+      storage_(geom, cfg.base.payloadBytes, cfg.base.encrypt,
+               cfg.base.seed ^ 0x51A6),
+      posmap_(cfg.base.numBlocks, geom.numLeaves(), rng),
+      buckets(geom.numNodes())
+{
+    LAORAM_ASSERT(rcfg.realZ >= 1, "RingORAM needs realZ >= 1");
+    LAORAM_ASSERT(rcfg.evictEvery >= 1, "eviction rate must be >= 1");
+    LAORAM_ASSERT(rcfg.realZ + rcfg.dummies <= 255,
+                  "bucket too large for 8-bit slot offsets");
+    const std::uint64_t slotsPerBucket = rcfg.realZ + rcfg.dummies;
+    for (auto &meta : buckets)
+        meta.unreadSlots = slotsPerBucket;
+    byLevel.resize(geom.numLevels());
+}
+
+StashEntry &
+RingOram::entryFor(BlockId id, Leaf leaf)
+{
+    if (StashEntry *entry = stash_.find(id)) {
+        entry->leaf = leaf;
+        return *entry;
+    }
+    auto &entry = stash_.put(id, leaf);
+    entry.payload.assign(cfg.payloadBytes, 0);
+    return entry;
+}
+
+std::string
+RingOram::auditRing() const
+{
+    std::unordered_set<BlockId> seen;
+    StoredBlock b;
+    for (NodeIndex node = 0; node < geom.numNodes(); ++node) {
+        const auto &meta = buckets[node];
+        const unsigned level = geom.nodeLevel(node);
+        const std::uint64_t base = geom.nodeSlotBase(node);
+        if (meta.unreadSlots < meta.real.size())
+            return "bucket " + std::to_string(node)
+                + " has fewer unread slots than valid blocks";
+        for (const auto &[id, off] : meta.real) {
+            storage_.readSlot(base + off, b);
+            if (b.id != id)
+                return "slot record id mismatch at node "
+                    + std::to_string(node);
+            if (!seen.insert(id).second)
+                return "block " + std::to_string(id)
+                    + " duplicated in bucket metadata";
+            if (stash_.contains(id))
+                return "block " + std::to_string(id)
+                    + " in both tree and stash";
+            const Leaf mapped = posmap_.get(id);
+            if (b.leaf != mapped)
+                return "block " + std::to_string(id)
+                    + " stored leaf disagrees with posmap";
+            if (geom.pathNode(mapped, level) != node)
+                return "block " + std::to_string(id)
+                    + " not on its assigned path";
+        }
+    }
+    for (const auto &[id, entry] : stash_) {
+        if (entry.leaf != posmap_.get(id))
+            return "stashed block " + std::to_string(id)
+                + " leaf disagrees with posmap";
+    }
+    return {};
+}
+
+Leaf
+RingOram::reverseLexLeaf(std::uint64_t counter) const
+{
+    // Bit-reverse the low L bits: consecutive eviction indices map to
+    // maximally spread leaves (RingORAM's reverse-lexicographic order).
+    const unsigned L = geom.leafLevel();
+    std::uint64_t v = counter & (geom.numLeaves() - 1);
+    Leaf out = 0;
+    for (unsigned i = 0; i < L; ++i) {
+        out = (out << 1) | (v & 1);
+        v >>= 1;
+    }
+    return out;
+}
+
+void
+RingOram::readPathSparse(Leaf leaf, BlockId id)
+{
+    for (unsigned level = 0; level < geom.numLevels(); ++level) {
+        const NodeIndex node = geom.pathNode(leaf, level);
+        auto &meta = buckets[node];
+        const std::uint64_t base = geom.nodeSlotBase(node);
+
+        auto it = std::find_if(meta.real.begin(), meta.real.end(),
+                               [id](const auto &e) {
+                                   return e.first == id;
+                               });
+        if (it != meta.real.end()) {
+            storage_.readSlot(base + it->second, scratch);
+            LAORAM_ASSERT(scratch.id == id, "bucket metadata desynced");
+            stash_.put(scratch.id, scratch.leaf,
+                       std::move(scratch.payload));
+            meta.real.erase(it);
+            LAORAM_ASSERT(meta.unreadSlots > 0, "read of read slot");
+            --meta.unreadSlots;
+        } else {
+            // Burn one unread dummy slot; reshuffle first if none left.
+            if (meta.unreadSlots == meta.real.size())
+                earlyReshuffle(node);
+            --meta.unreadSlots;
+        }
+    }
+    // One physical block per bucket crosses the bus.
+    mtr.recordPathRead(geom.numLevels() * cfg.blockBytes,
+                       geom.numLevels());
+}
+
+void
+RingOram::earlyReshuffle(NodeIndex node)
+{
+    auto &meta = buckets[node];
+    const std::uint64_t base = geom.nodeSlotBase(node);
+    const std::uint64_t slotsPerBucket = rcfg.realZ + rcfg.dummies;
+
+    // Pull the still-valid blocks out...
+    std::vector<StoredBlock> live;
+    live.reserve(meta.real.size());
+    for (const auto &[id, off] : meta.real) {
+        StoredBlock b;
+        storage_.readSlot(base + off, b);
+        live.push_back(std::move(b));
+    }
+    // ...and rewrite the bucket wholesale with fresh encryption.
+    meta.real.clear();
+    for (std::uint64_t i = 0; i < slotsPerBucket; ++i) {
+        if (i < live.size()) {
+            const auto &b = live[i];
+            storage_.writeSlot(base + i, b.id, b.leaf, b.payload.data(),
+                               b.payload.size());
+            meta.real.emplace_back(b.id, static_cast<std::uint8_t>(i));
+        } else {
+            storage_.writeDummy(base + i);
+        }
+    }
+    meta.unreadSlots = slotsPerBucket;
+
+    mtr.recordReshuffle(live.size() * cfg.blockBytes, live.size(),
+                        slotsPerBucket * cfg.blockBytes, slotsPerBucket);
+}
+
+void
+RingOram::evictPath(Leaf leaf, bool asDummy)
+{
+    const std::uint64_t slotsPerBucket = rcfg.realZ + rcfg.dummies;
+
+    // Read phase: absorb every valid block on the path.
+    std::uint64_t blocksIn = 0;
+    for (unsigned level = 0; level < geom.numLevels(); ++level) {
+        const NodeIndex node = geom.pathNode(leaf, level);
+        auto &meta = buckets[node];
+        const std::uint64_t base = geom.nodeSlotBase(node);
+        for (const auto &[id, off] : meta.real) {
+            storage_.readSlot(base + off, scratch);
+            stash_.put(scratch.id, scratch.leaf,
+                       std::move(scratch.payload));
+            ++blocksIn;
+        }
+        meta.real.clear();
+    }
+
+    // Write phase: greedy deepest-first refill, capacity realZ per
+    // bucket; remaining slots become fresh dummies.
+    for (auto &bucket : byLevel)
+        bucket.clear();
+    pool.clear();
+    for (const auto &[id, entry] : stash_)
+        byLevel[geom.commonLevel(entry.leaf, leaf)].push_back(id);
+
+    for (unsigned level = geom.numLevels(); level-- > 0;) {
+        for (BlockId id : byLevel[level])
+            pool.push_back(id);
+
+        const NodeIndex node = geom.pathNode(leaf, level);
+        auto &meta = buckets[node];
+        const std::uint64_t base = geom.nodeSlotBase(node);
+        std::uint64_t filled = 0;
+        while (filled < rcfg.realZ && !pool.empty()) {
+            const BlockId id = pool.back();
+            pool.pop_back();
+            StashEntry *entry = stash_.find(id);
+            LAORAM_ASSERT(entry, "stash entry vanished during eviction");
+            storage_.writeSlot(base + filled, id, entry->leaf,
+                               entry->payload.data(),
+                               entry->payload.size());
+            meta.real.emplace_back(id,
+                                   static_cast<std::uint8_t>(filled));
+            stash_.erase(id);
+            ++filled;
+        }
+        for (std::uint64_t s = filled; s < slotsPerBucket; ++s)
+            storage_.writeDummy(base + s);
+        meta.unreadSlots = slotsPerBucket;
+    }
+
+    const std::uint64_t writeBlocks =
+        geom.numLevels() * slotsPerBucket;
+    if (asDummy) {
+        mtr.recordDummyAccess(writeBlocks * cfg.blockBytes, writeBlocks);
+    } else {
+        mtr.recordPathRead(blocksIn * cfg.blockBytes, blocksIn);
+        mtr.recordPathWrite(writeBlocks * cfg.blockBytes, writeBlocks);
+    }
+}
+
+void
+RingOram::access(BlockId id, AccessOp op, const std::uint8_t *in,
+                 std::size_t len, std::vector<std::uint8_t> *out)
+{
+    LAORAM_ASSERT(id < cfg.numBlocks, "block ", id, " out of range");
+    mtr.recordLogicalAccess();
+
+    const Leaf current = posmap_.get(id);
+    if (stash_.contains(id))
+        mtr.recordStashHit();
+
+    readPathSparse(current, id);
+
+    const Leaf next = rng.nextBounded(geom.numLeaves());
+    posmap_.set(id, next);
+    StashEntry &entry = entryFor(id, next);
+    applyOp(entry, op, in, len, out);
+
+    // Deterministic eviction every A accesses.
+    if (++sinceEvict >= rcfg.evictEvery) {
+        evictPath(reverseLexLeaf(evictCounter++), false);
+        sinceEvict = 0;
+    }
+
+    // Stash high-water safety: extra evictions billed as dummies.
+    if (stash_.size() > cfg.stashHighWater) {
+        constexpr std::uint64_t kMaxBurst = 100000;
+        std::uint64_t issued = 0;
+        while (stash_.size() > cfg.stashLowWater
+               && issued < kMaxBurst) {
+            evictPath(reverseLexLeaf(evictCounter++), true);
+            ++issued;
+        }
+    }
+    mtr.observeStashSize(stash_.size());
+}
+
+} // namespace laoram::oram

@@ -1,0 +1,115 @@
+#include "oram/server_storage.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace laoram::oram {
+
+namespace {
+
+constexpr std::uint64_t kHeaderBytes = 16; // id (8) + leaf (8)
+
+inline void
+storeU64(std::uint8_t *p, std::uint64_t v)
+{
+    std::memcpy(p, &v, sizeof(v)); // little-endian hosts only (x86/ARM)
+}
+
+inline std::uint64_t
+loadU64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+ServerStorage::ServerStorage(const TreeGeometry &geom,
+                             std::uint64_t payloadBytes, bool encrypt,
+                             std::uint64_t keySeed)
+    : geom(geom),
+      payBytes(payloadBytes),
+      recBytes(kHeaderBytes + payloadBytes),
+      nSlots(geom.totalSlots()),
+      raw(nSlots * recBytes, 0),
+      enc(encrypt
+              ? crypto::Encryptor(crypto::Encryptor::deriveKey(keySeed),
+                                  nSlots)
+              : crypto::Encryptor::makeDisabled())
+{
+    // Every slot starts as a valid (encrypted) dummy record so that the
+    // first read of any path decrypts cleanly.
+    for (std::uint64_t s = 0; s < nSlots; ++s)
+        writeDummy(s);
+}
+
+std::uint8_t *
+ServerStorage::slotPtr(std::uint64_t slot)
+{
+    LAORAM_ASSERT(slot < nSlots, "slot ", slot, " out of range");
+    return raw.data() + slot * recBytes;
+}
+
+const std::uint8_t *
+ServerStorage::slotPtr(std::uint64_t slot) const
+{
+    LAORAM_ASSERT(slot < nSlots, "slot ", slot, " out of range");
+    return raw.data() + slot * recBytes;
+}
+
+void
+ServerStorage::readSlot(std::uint64_t slot, StoredBlock &out) const
+{
+    if (sink)
+        sink(slot, false);
+    const std::uint8_t *rec = slotPtr(slot);
+    if (enc.enabled()) {
+        // Decrypt into a scratch copy; the at-rest bytes stay encrypted.
+        std::vector<std::uint8_t> tmp(rec, rec + recBytes);
+        enc.decryptSlot(slot, tmp.data(), tmp.size());
+        out.id = loadU64(tmp.data());
+        out.leaf = loadU64(tmp.data() + 8);
+        out.payload.assign(tmp.begin() + kHeaderBytes, tmp.end());
+    } else {
+        out.id = loadU64(rec);
+        out.leaf = loadU64(rec + 8);
+        out.payload.assign(rec + kHeaderBytes, rec + recBytes);
+    }
+}
+
+void
+ServerStorage::writeSlot(std::uint64_t slot, BlockId id, Leaf leaf,
+                         const std::uint8_t *payload, std::size_t len)
+{
+    LAORAM_ASSERT(len <= payBytes, "payload (", len,
+                  " B) exceeds slot payload capacity (", payBytes, " B)");
+    if (sink)
+        sink(slot, true);
+    std::uint8_t *rec = slotPtr(slot);
+    storeU64(rec, id);
+    storeU64(rec + 8, leaf);
+    if (payBytes > 0) {
+        if (len > 0)
+            std::memcpy(rec + kHeaderBytes, payload, len);
+        if (len < payBytes)
+            std::memset(rec + kHeaderBytes + len, 0, payBytes - len);
+    }
+    enc.encryptSlot(slot, rec, recBytes);
+}
+
+void
+ServerStorage::writeDummy(std::uint64_t slot)
+{
+    if (sink)
+        sink(slot, true);
+    std::uint8_t *rec = slotPtr(slot);
+    storeU64(rec, kInvalidBlock);
+    storeU64(rec + 8, 0);
+    if (payBytes > 0)
+        std::memset(rec + kHeaderBytes, 0, payBytes);
+    enc.encryptSlot(slot, rec, recBytes);
+}
+
+} // namespace laoram::oram

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The LAORAM *server* — the untrusted CPU-DRAM side of the protocol.
+ *
+ * Stores the tree as one contiguous slot array. Each slot holds a
+ * fixed-size record: [block id (8 B)] [assigned leaf (8 B)] [payload
+ * (payloadBytes)]. Records are encrypted at rest with a fresh nonce per
+ * write (crypto::Encryptor), so the only information the server-side
+ * observer gains is *which slots* are touched — exactly the paper's
+ * threat model.
+ *
+ * `payloadBytes` is deliberately decoupled from the geometry's logical
+ * `blockBytes`: correctness tests run with real payloads, while
+ * paper-scale benches set payloadBytes = 0 and account traffic in
+ * logical bytes, keeping memory use manageable without changing any
+ * access-pattern metric.
+ */
+
+#ifndef LAORAM_ORAM_SERVER_STORAGE_HH
+#define LAORAM_ORAM_SERVER_STORAGE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "crypto/encryptor.hh"
+#include "oram/tree_geometry.hh"
+#include "oram/types.hh"
+
+namespace laoram::oram {
+
+/** Untrusted tree storage with encryption-at-rest. */
+class ServerStorage
+{
+  public:
+    /**
+     * @param geom         tree geometry (not owned; must outlive)
+     * @param payloadBytes bytes of payload physically stored per block
+     * @param encrypt      encrypt records at rest (ChaCha20)
+     * @param keySeed      key-derivation seed when encrypting
+     */
+    ServerStorage(const TreeGeometry &geom, std::uint64_t payloadBytes,
+                  bool encrypt, std::uint64_t keySeed = 0);
+
+    std::uint64_t payloadBytes() const { return payBytes; }
+    std::uint64_t recordBytes() const { return recBytes; }
+    const TreeGeometry &geometry() const { return geom; }
+
+    /** Read slot @p slot into @p out (reuses out.payload capacity). */
+    void readSlot(std::uint64_t slot, StoredBlock &out) const;
+
+    /** Write a real block into @p slot. */
+    void writeSlot(std::uint64_t slot, BlockId id, Leaf leaf,
+                   const std::uint8_t *payload, std::size_t len);
+
+    /** Overwrite @p slot with an (encrypted) dummy record. */
+    void writeDummy(std::uint64_t slot);
+
+    /** Number of physical slots (== geometry().totalSlots()). */
+    std::uint64_t slots() const { return nSlots; }
+
+    /** Actual resident bytes of this storage (for footprint reports). */
+    std::uint64_t residentBytes() const { return raw.size(); }
+
+    /**
+     * Adversary's-eye view for security tests: called with
+     * (slot, isWrite) on every physical slot access. The sink sees
+     * exactly what a bus probe sees — addresses, never contents.
+     */
+    using AccessSink = std::function<void(std::uint64_t, bool)>;
+    void setAccessSink(AccessSink sink) { this->sink = std::move(sink); }
+
+  private:
+    std::uint8_t *slotPtr(std::uint64_t slot);
+    const std::uint8_t *slotPtr(std::uint64_t slot) const;
+
+    const TreeGeometry &geom;
+    std::uint64_t payBytes;
+    std::uint64_t recBytes;
+    std::uint64_t nSlots;
+    std::vector<std::uint8_t> raw;
+    mutable crypto::Encryptor enc;
+    AccessSink sink;
+};
+
+} // namespace laoram::oram
+
+#endif // LAORAM_ORAM_SERVER_STORAGE_HH

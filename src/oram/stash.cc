@@ -1,0 +1,49 @@
+#include "oram/stash.hh"
+
+namespace laoram::oram {
+
+StashEntry *
+Stash::find(BlockId id)
+{
+    auto it = entries.find(id);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+const StashEntry *
+Stash::find(BlockId id) const
+{
+    auto it = entries.find(id);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+StashEntry &
+Stash::put(BlockId id, Leaf leaf, std::vector<std::uint8_t> payload)
+{
+    auto &entry = entries[id];
+    entry.leaf = leaf;
+    entry.payload = std::move(payload);
+    return entry;
+}
+
+StashEntry &
+Stash::put(BlockId id, Leaf leaf)
+{
+    auto &entry = entries[id];
+    entry.leaf = leaf;
+    return entry;
+}
+
+void
+Stash::erase(BlockId id)
+{
+    entries.erase(id);
+}
+
+void
+Stash::unpinAll()
+{
+    for (auto &[id, entry] : entries)
+        entry.pinned = false;
+}
+
+} // namespace laoram::oram

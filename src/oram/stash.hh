@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Client-side stash: trusted overflow storage for blocks that could not
+ * be written back into the tree (paper §II-E). Lives in GPU HBM in the
+ * paper's deployment; accesses to it are invisible to the adversary.
+ */
+
+#ifndef LAORAM_ORAM_STASH_HH
+#define LAORAM_ORAM_STASH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "oram/types.hh"
+
+namespace laoram::oram {
+
+/** A block resident in the stash. */
+struct StashEntry
+{
+    Leaf leaf = 0;
+    /**
+     * Pinned entries are retained client-side and skipped by
+     * write-back eviction — used by superblock engines to keep a
+     * prefetched group resident until its pending accesses arrive.
+     */
+    bool pinned = false;
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * Hash-map stash with the iteration support the greedy evictor needs.
+ */
+class Stash
+{
+  public:
+    /** @return entry for @p id or nullptr. */
+    StashEntry *find(BlockId id);
+    const StashEntry *find(BlockId id) const;
+
+    /**
+     * Insert or overwrite @p id. Returns the (possibly pre-existing)
+     * entry.
+     */
+    StashEntry &put(BlockId id, Leaf leaf,
+                    std::vector<std::uint8_t> payload);
+
+    /** Insert a payload-less entry (pattern-only simulations). */
+    StashEntry &put(BlockId id, Leaf leaf);
+
+    void erase(BlockId id);
+    bool contains(BlockId id) const { return entries.contains(id); }
+
+    /** Clear every pin (used when stash pressure trumps retention). */
+    void unpinAll();
+
+    std::uint64_t size() const { return entries.size(); }
+    bool empty() const { return entries.empty(); }
+
+    /** Iterate all (id, entry) pairs; mutation of leaves is allowed. */
+    auto begin() { return entries.begin(); }
+    auto end() { return entries.end(); }
+    auto begin() const { return entries.begin(); }
+    auto end() const { return entries.end(); }
+
+    /** Approximate client memory held by stash blocks. */
+    std::uint64_t residentBytes(std::uint64_t payloadBytes) const
+    {
+        return size() * (sizeof(BlockId) + sizeof(Leaf) + payloadBytes);
+    }
+
+  private:
+    std::unordered_map<BlockId, StashEntry> entries;
+};
+
+} // namespace laoram::oram
+
+#endif // LAORAM_ORAM_STASH_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental vocabulary types shared by every ORAM engine.
+ */
+
+#ifndef LAORAM_ORAM_TYPES_HH
+#define LAORAM_ORAM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace laoram::oram {
+
+/** Logical block (embedding-table entry) identifier. */
+using BlockId = std::uint64_t;
+
+/** Leaf index in [0, numLeaves); names one root-to-leaf path. */
+using Leaf = std::uint64_t;
+
+/** Heap-order node index in the storage tree (root = 0). */
+using NodeIndex = std::uint64_t;
+
+/** Marks an empty (dummy) slot in server storage. */
+inline constexpr BlockId kInvalidBlock =
+    std::numeric_limits<BlockId>::max();
+
+/** Marks "no preprocessed future path; draw one uniformly at random". */
+inline constexpr Leaf kNoFuturePath = std::numeric_limits<Leaf>::max();
+
+/** Operation kinds for a logical access. */
+enum class AccessOp : std::uint8_t {
+    Read,   ///< fetch payload
+    Write,  ///< replace payload
+    Touch,  ///< access for pattern purposes only (no payload movement)
+};
+
+/** A block as it crosses the client/server boundary. */
+struct StoredBlock
+{
+    BlockId id = kInvalidBlock;
+    Leaf leaf = 0;
+    std::vector<std::uint8_t> payload;
+
+    bool isDummy() const { return id == kInvalidBlock; }
+};
+
+} // namespace laoram::oram
+
+#endif // LAORAM_ORAM_TYPES_HH

@@ -1,0 +1,75 @@
+#include "train/embedding_table.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace laoram::train {
+
+EmbeddingTable::EmbeddingTable(std::uint64_t rows, std::uint64_t dim,
+                               std::uint64_t seed)
+    : nRows(rows), nDim(dim), data(rows * dim)
+{
+    LAORAM_ASSERT(rows > 0 && dim > 0, "degenerate embedding table");
+    Rng rng(seed);
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(dim));
+    for (auto &v : data)
+        v = scale * static_cast<float>(2.0 * rng.nextDouble() - 1.0);
+}
+
+std::span<float>
+EmbeddingTable::row(std::uint64_t r)
+{
+    LAORAM_ASSERT(r < nRows, "row ", r, " out of range");
+    return {data.data() + r * nDim, nDim};
+}
+
+std::span<const float>
+EmbeddingTable::row(std::uint64_t r) const
+{
+    LAORAM_ASSERT(r < nRows, "row ", r, " out of range");
+    return {data.data() + r * nDim, nDim};
+}
+
+void
+EmbeddingTable::serializeRow(std::uint64_t r,
+                             std::vector<std::uint8_t> &out) const
+{
+    const auto src = row(r);
+    out.resize(rowBytes());
+    std::memcpy(out.data(), src.data(), rowBytes());
+}
+
+void
+EmbeddingTable::deserializeRow(std::uint64_t r,
+                               const std::vector<std::uint8_t> &in)
+{
+    LAORAM_ASSERT(in.size() >= rowBytes(), "payload too small: ",
+                  in.size(), " < ", rowBytes());
+    auto dst = row(r);
+    std::memcpy(dst.data(), in.data(), rowBytes());
+}
+
+void
+EmbeddingTable::applyGradient(std::uint64_t r,
+                              std::span<const float> grad, float lr)
+{
+    LAORAM_ASSERT(grad.size() == nDim, "gradient dim mismatch");
+    auto w = row(r);
+    for (std::uint64_t i = 0; i < nDim; ++i)
+        w[i] -= lr * grad[i];
+}
+
+double
+EmbeddingTable::rowNormSq(std::uint64_t r) const
+{
+    double acc = 0.0;
+    for (float v : row(r))
+        acc += static_cast<double>(v) * v;
+    return acc;
+}
+
+} // namespace laoram::train

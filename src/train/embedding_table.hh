@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A minimal embedding table: dense float rows with byte-level
+ * (de)serialisation so rows can live inside ORAM block payloads.
+ *
+ * The paper's system trains DLRM/XLM-R embedding rows on the GPU
+ * while the rows themselves are stored obliviously; this substrate
+ * provides real rows + gradients so examples exercise the full loop
+ * rather than faking it.
+ */
+
+#ifndef LAORAM_TRAIN_EMBEDDING_TABLE_HH
+#define LAORAM_TRAIN_EMBEDDING_TABLE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace laoram::train {
+
+/** Dense table of float embedding rows. */
+class EmbeddingTable
+{
+  public:
+    /**
+     * @param rows embedding entries
+     * @param dim  floats per entry (128 B row == dim 32)
+     * @param seed deterministic init seed (uniform in ±1/sqrt(dim))
+     */
+    EmbeddingTable(std::uint64_t rows, std::uint64_t dim,
+                   std::uint64_t seed);
+
+    std::uint64_t rows() const { return nRows; }
+    std::uint64_t dim() const { return nDim; }
+    std::uint64_t rowBytes() const { return nDim * sizeof(float); }
+
+    std::span<float> row(std::uint64_t r);
+    std::span<const float> row(std::uint64_t r) const;
+
+    /** Copy row @p r into a byte buffer (an ORAM payload). */
+    void serializeRow(std::uint64_t r, std::vector<std::uint8_t> &out)
+        const;
+
+    /** Overwrite row @p r from a byte buffer. */
+    void deserializeRow(std::uint64_t r,
+                        const std::vector<std::uint8_t> &in);
+
+    /** In-place SGD step on row @p r: w -= lr * grad. */
+    void applyGradient(std::uint64_t r, std::span<const float> grad,
+                       float lr);
+
+    /** Squared L2 norm of row @p r (convergence diagnostics). */
+    double rowNormSq(std::uint64_t r) const;
+
+  private:
+    std::uint64_t nRows;
+    std::uint64_t nDim;
+    std::vector<float> data;
+};
+
+} // namespace laoram::train
+
+#endif // LAORAM_TRAIN_EMBEDDING_TABLE_HH

@@ -1,0 +1,35 @@
+#include "train/sgd.hh"
+
+#include "util/logging.hh"
+
+namespace laoram::train {
+
+SgdOptimizer::SgdOptimizer(float lr, float momentum)
+    : lr(lr), momentum(momentum)
+{
+    LAORAM_ASSERT(lr > 0.0f, "learning rate must be positive");
+    LAORAM_ASSERT(momentum >= 0.0f && momentum < 1.0f,
+                  "momentum must be in [0,1)");
+}
+
+void
+SgdOptimizer::step(std::uint64_t key, std::span<float> params,
+                   std::span<const float> grad)
+{
+    LAORAM_ASSERT(params.size() == grad.size(),
+                  "param/grad size mismatch");
+    if (momentum == 0.0f) {
+        for (std::size_t i = 0; i < params.size(); ++i)
+            params[i] -= lr * grad[i];
+        return;
+    }
+    auto &v = velocity[key];
+    if (v.size() != params.size())
+        v.assign(params.size(), 0.0f);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        v[i] = momentum * v[i] + grad[i];
+        params[i] -= lr * v[i];
+    }
+}
+
+} // namespace laoram::train

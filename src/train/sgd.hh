@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain SGD (optionally with momentum) over float parameter spans.
+ */
+
+#ifndef LAORAM_TRAIN_SGD_HH
+#define LAORAM_TRAIN_SGD_HH
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace laoram::train {
+
+/** Stochastic gradient descent with optional momentum. */
+class SgdOptimizer
+{
+  public:
+    /**
+     * @param lr       learning rate
+     * @param momentum 0 for vanilla SGD; velocity is tracked per
+     *                 parameter-group key otherwise
+     */
+    explicit SgdOptimizer(float lr, float momentum = 0.0f);
+
+    float learningRate() const { return lr; }
+
+    /**
+     * One update step on a parameter span.
+     *
+     * @param key    identifies the parameter group (e.g. embedding row
+     *               id) so momentum state is tracked per group
+     * @param params parameters, updated in place
+     * @param grad   gradient, same length
+     */
+    void step(std::uint64_t key, std::span<float> params,
+              std::span<const float> grad);
+
+  private:
+    float lr;
+    float momentum;
+    std::unordered_map<std::uint64_t, std::vector<float>> velocity;
+};
+
+} // namespace laoram::train
+
+#endif // LAORAM_TRAIN_SGD_HH

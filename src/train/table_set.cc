@@ -1,0 +1,71 @@
+#include "train/table_set.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace laoram::train {
+
+TableSet::TableSet(std::vector<std::uint64_t> tableRows)
+    : rows(std::move(tableRows))
+{
+    LAORAM_ASSERT(!rows.empty(), "table set needs at least one table");
+    base.reserve(rows.size());
+    for (std::uint64_t r : rows) {
+        LAORAM_ASSERT(r > 0, "empty table in table set");
+        base.push_back(total);
+        total += r;
+    }
+}
+
+std::uint64_t
+TableSet::tableRows(std::uint64_t table) const
+{
+    LAORAM_ASSERT(table < rows.size(), "table ", table,
+                  " out of range");
+    return rows[table];
+}
+
+std::uint64_t
+TableSet::flatten(std::uint64_t table, std::uint64_t row) const
+{
+    LAORAM_ASSERT(table < rows.size(), "table ", table,
+                  " out of range");
+    LAORAM_ASSERT(row < rows[table], "row ", row,
+                  " out of range for table ", table);
+    return base[table] + row;
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+TableSet::unflatten(std::uint64_t block) const
+{
+    LAORAM_ASSERT(block < total, "block ", block, " out of range");
+    // upper_bound on prefix sums, then step back one table.
+    const auto it =
+        std::upper_bound(base.begin(), base.end(), block);
+    const auto table =
+        static_cast<std::uint64_t>(it - base.begin()) - 1;
+    return {table, block - base[table]};
+}
+
+TableSet
+TableSet::criteoLike(std::uint64_t largest)
+{
+    LAORAM_ASSERT(largest >= 26, "largest table too small");
+    // Size distribution modelled on the Criteo Kaggle categorical
+    // features: one dominant table, a handful of large ones, the rest
+    // tiny (hundreds of rows).
+    std::vector<std::uint64_t> rows;
+    rows.push_back(largest);               // the paper's table
+    rows.push_back(largest / 2);
+    rows.push_back(largest / 4);
+    rows.push_back(largest / 8);
+    rows.push_back(largest / 16);
+    for (int i = 0; i < 6; ++i)
+        rows.push_back(std::max<std::uint64_t>(largest / 64, 64));
+    for (int i = 0; i < 15; ++i)
+        rows.push_back(std::max<std::uint64_t>(largest / 1024, 16));
+    return TableSet(std::move(rows));
+}
+
+} // namespace laoram::train

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Multi-table flattening for DLRM-style models.
+ *
+ * Real recommendation models train dozens of embedding tables (the
+ * Criteo DLRM has 26 sparse features); the paper evaluates its
+ * largest table, but a deployment must protect *all* of them —
+ * otherwise which-table-was-touched still leaks the feature. TableSet
+ * maps (table, row) pairs onto one flat block space so a single ORAM
+ * tree covers every table, making cross-table access patterns
+ * mutually indistinguishable by construction.
+ */
+
+#ifndef LAORAM_TRAIN_TABLE_SET_HH
+#define LAORAM_TRAIN_TABLE_SET_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace laoram::train {
+
+/** (table, row) <-> flat block id mapping over concatenated tables. */
+class TableSet
+{
+  public:
+    /** @param tableRows rows of each table, in table order */
+    explicit TableSet(std::vector<std::uint64_t> tableRows);
+
+    std::uint64_t numTables() const { return rows.size(); }
+    std::uint64_t totalBlocks() const { return total; }
+    std::uint64_t tableRows(std::uint64_t table) const;
+
+    /** Flat block id of @p row in @p table. */
+    std::uint64_t flatten(std::uint64_t table, std::uint64_t row)
+        const;
+
+    /** Inverse of flatten. */
+    std::pair<std::uint64_t, std::uint64_t>
+    unflatten(std::uint64_t block) const;
+
+    /**
+     * A 26-table configuration with the skewed size distribution of
+     * Criteo-class models (a few huge tables, many small ones),
+     * scaled so the largest table has @p largest rows.
+     */
+    static TableSet criteoLike(std::uint64_t largest);
+
+  private:
+    std::vector<std::uint64_t> rows;
+    std::vector<std::uint64_t> base; ///< prefix sums
+    std::uint64_t total = 0;
+};
+
+} // namespace laoram::train
+
+#endif // LAORAM_TRAIN_TABLE_SET_HH

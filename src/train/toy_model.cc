@@ -1,0 +1,70 @@
+#include "train/toy_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace laoram::train {
+
+ToyInteractionModel::ToyInteractionModel(std::uint64_t dim,
+                                         std::uint64_t seed)
+    : nDim(dim), w(dim), lastTopGrad(dim, 0.0f)
+{
+    LAORAM_ASSERT(dim > 0, "model dim must be positive");
+    Rng rng(seed);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim));
+    for (auto &v : w)
+        v = scale * static_cast<float>(2.0 * rng.nextDouble() - 1.0);
+}
+
+StepResult
+ToyInteractionModel::step(
+    const std::vector<std::vector<float>> &rowValues, float label)
+{
+    LAORAM_ASSERT(!rowValues.empty(), "sample selects no rows");
+    StepResult res;
+
+    // Mean-pool the sample's rows.
+    std::vector<float> pooled(nDim, 0.0f);
+    for (const auto &row : rowValues) {
+        LAORAM_ASSERT(row.size() == nDim, "row dim mismatch");
+        for (std::uint64_t i = 0; i < nDim; ++i)
+            pooled[i] += row[i];
+    }
+    const float inv = 1.0f / static_cast<float>(rowValues.size());
+    for (auto &v : pooled)
+        v *= inv;
+
+    // Score + logistic loss.
+    float z = 0.0f;
+    for (std::uint64_t i = 0; i < nDim; ++i)
+        z += w[i] * pooled[i];
+    const float p = 1.0f / (1.0f + std::exp(-z));
+    res.prediction = p;
+    const float eps = 1e-7f;
+    res.loss = label > 0.5f
+                   ? -std::log(p + eps)
+                   : -std::log(1.0f - p + eps);
+
+    // Backward: dL/dz = p - y.
+    const float dz = p - label;
+    for (std::uint64_t i = 0; i < nDim; ++i)
+        lastTopGrad[i] = dz * pooled[i];
+
+    // dL/d(row) = dz * w / t, identical for every pooled row.
+    std::vector<float> rg(nDim);
+    for (std::uint64_t i = 0; i < nDim; ++i)
+        rg[i] = dz * w[i] * inv;
+    res.rowGrads.assign(rowValues.size(), rg);
+    return res;
+}
+
+void
+ToyInteractionModel::applyTopGradient(float lr)
+{
+    for (std::uint64_t i = 0; i < nDim; ++i)
+        w[i] -= lr * lastTopGrad[i];
+}
+
+} // namespace laoram::train

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A toy DLRM-style interaction model: each training sample selects t
+ * embedding rows; the model scores sigmoid(w · mean(rows)) against a
+ * binary label with logistic loss. Small enough to run inside the
+ * examples, real enough that losses demonstrably decrease when the
+ * oblivious access path round-trips rows correctly.
+ */
+
+#ifndef LAORAM_TRAIN_TOY_MODEL_HH
+#define LAORAM_TRAIN_TOY_MODEL_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace laoram::train {
+
+/** One training sample: embedding rows used + binary label. */
+struct Sample
+{
+    std::vector<std::uint64_t> rows;
+    float label = 0.0f; ///< 0 or 1
+};
+
+/** Gradients produced by one training step. */
+struct StepResult
+{
+    float loss = 0.0f;
+    float prediction = 0.0f;
+    /** dL/d(row) for each sample row, parallel to Sample::rows. */
+    std::vector<std::vector<float>> rowGrads;
+};
+
+/** Logistic-regression-over-pooled-embeddings toy model. */
+class ToyInteractionModel
+{
+  public:
+    ToyInteractionModel(std::uint64_t dim, std::uint64_t seed);
+
+    std::uint64_t dim() const { return nDim; }
+
+    /**
+     * Forward + backward for one sample.
+     *
+     * @param rowValues the embedding rows gathered for the sample
+     *                  (each of length dim()), in sample-row order
+     * @param label     binary target
+     */
+    StepResult step(const std::vector<std::vector<float>> &rowValues,
+                    float label);
+
+    /** Apply the step's top-weight gradient (done by the caller for
+     *  embedding rows; the dense weight lives here). */
+    void applyTopGradient(float lr);
+
+    std::span<const float> weights() const { return {w.data(),
+                                                     w.size()}; }
+
+  private:
+    std::uint64_t nDim;
+    std::vector<float> w;
+    std::vector<float> lastTopGrad;
+};
+
+} // namespace laoram::train
+
+#endif // LAORAM_TRAIN_TOY_MODEL_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the tree-geometry and
+ * RNG code.
+ */
+
+#ifndef LAORAM_UTIL_BITOPS_HH
+#define LAORAM_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace laoram {
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceiling of log2(v); @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return floorLog2(v) + (isPow2(v) ? 0u : 1u);
+}
+
+/** Smallest power of two >= v (v must be non-zero). */
+constexpr std::uint64_t
+ceilPow2(std::uint64_t v)
+{
+    return std::uint64_t{1} << ceilLog2(v);
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace laoram
+
+#endif // LAORAM_UTIL_BITOPS_HH

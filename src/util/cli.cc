@@ -1,0 +1,162 @@
+#include "util/cli.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace laoram {
+
+ArgParser::ArgParser(std::string prog, std::string description)
+    : prog(std::move(prog)), description(std::move(description))
+{
+}
+
+std::shared_ptr<std::uint64_t>
+ArgParser::addUint(const std::string &name, const std::string &help,
+                   std::uint64_t def)
+{
+    auto val = std::make_shared<std::uint64_t>(def);
+    options.push_back(Option{name, help, Kind::Uint, val, nullptr, nullptr,
+                             nullptr, std::to_string(def)});
+    return val;
+}
+
+std::shared_ptr<double>
+ArgParser::addDouble(const std::string &name, const std::string &help,
+                     double def)
+{
+    auto val = std::make_shared<double>(def);
+    options.push_back(Option{name, help, Kind::Double, nullptr, val,
+                             nullptr, nullptr, std::to_string(def)});
+    return val;
+}
+
+std::shared_ptr<std::string>
+ArgParser::addString(const std::string &name, const std::string &help,
+                     std::string def)
+{
+    auto val = std::make_shared<std::string>(std::move(def));
+    options.push_back(Option{name, help, Kind::String, nullptr, nullptr,
+                             val, nullptr, *val});
+    return val;
+}
+
+std::shared_ptr<bool>
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    auto val = std::make_shared<bool>(false);
+    options.push_back(Option{name, help, Kind::Flag, nullptr, nullptr,
+                             nullptr, val, "false"});
+    return val;
+}
+
+ArgParser::Option *
+ArgParser::find(const std::string &name)
+{
+    for (auto &opt : options)
+        if (opt.name == name)
+            return &opt;
+    return nullptr;
+}
+
+void
+ArgParser::parse(int argc, const char *const *argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+
+    for (const auto &a : args) {
+        if (a == "--help" || a == "-h") {
+            std::cout << usage();
+            std::exit(0);
+        }
+    }
+
+    std::string error;
+    if (!parseVector(args, &error)) {
+        std::cerr << "error: " << error << "\n\n" << usage();
+        std::exit(1);
+    }
+}
+
+bool
+ArgParser::parseVector(const std::vector<std::string> &args,
+                       std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string arg = args[i];
+        if (arg.rfind("--", 0) != 0)
+            return fail("unexpected positional argument: " + arg);
+        arg = arg.substr(2);
+
+        std::string name = arg;
+        std::string value;
+        bool haveValue = false;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            haveValue = true;
+        }
+
+        Option *opt = find(name);
+        if (!opt)
+            return fail("unknown option: --" + name);
+
+        if (opt->kind == Kind::Flag) {
+            if (haveValue)
+                return fail("flag --" + name + " takes no value");
+            *opt->flagVal = true;
+            continue;
+        }
+
+        if (!haveValue) {
+            if (i + 1 >= args.size())
+                return fail("option --" + name + " needs a value");
+            value = args[++i];
+        }
+
+        try {
+            switch (opt->kind) {
+              case Kind::Uint:
+                *opt->uintVal = std::stoull(value);
+                break;
+              case Kind::Double:
+                *opt->doubleVal = std::stod(value);
+                break;
+              case Kind::String:
+                *opt->stringVal = value;
+                break;
+              case Kind::Flag:
+                break; // handled above
+            }
+        } catch (const std::exception &) {
+            return fail("bad value for --" + name + ": " + value);
+        }
+    }
+    return true;
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream os;
+    os << prog << " — " << description << "\n\noptions:\n";
+    for (const auto &opt : options) {
+        os << "  --" << opt.name;
+        if (opt.kind != Kind::Flag)
+            os << " <value>";
+        os << "\n      " << opt.help << " (default: " << opt.defaultText
+           << ")\n";
+    }
+    os << "  --help\n      show this message\n";
+    return os.str();
+}
+
+} // namespace laoram

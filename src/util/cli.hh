@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tiny declarative command-line parser shared by examples and benches.
+ *
+ * Usage:
+ * @code
+ *   ArgParser args("bench_fig7", "Reproduces Fig. 7 speedups");
+ *   auto n = args.addUint("entries", "embedding entries", 1 << 18);
+ *   auto full = args.addFlag("full", "run paper-scale geometry");
+ *   args.parse(argc, argv);          // exits with help on --help / error
+ *   run(*n, *full);
+ * @endcode
+ */
+
+#ifndef LAORAM_UTIL_CLI_HH
+#define LAORAM_UTIL_CLI_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace laoram {
+
+/** Declarative CLI option container; see file comment for usage. */
+class ArgParser
+{
+  public:
+    ArgParser(std::string prog, std::string description);
+
+    /** Register options; returned pointers stay valid until parse(). */
+    std::shared_ptr<std::uint64_t> addUint(const std::string &name,
+                                           const std::string &help,
+                                           std::uint64_t def);
+    std::shared_ptr<double> addDouble(const std::string &name,
+                                      const std::string &help, double def);
+    std::shared_ptr<std::string> addString(const std::string &name,
+                                           const std::string &help,
+                                           std::string def);
+    /** Boolean switch; present => true. */
+    std::shared_ptr<bool> addFlag(const std::string &name,
+                                  const std::string &help);
+
+    /**
+     * Parse argv. On "--help" prints usage and exits 0; on a malformed
+     * or unknown option prints usage and exits 1.
+     */
+    void parse(int argc, const char *const *argv);
+
+    /** Parse from a pre-split vector (used by tests; never exits). */
+    bool parseVector(const std::vector<std::string> &args,
+                     std::string *error = nullptr);
+
+    std::string usage() const;
+
+  private:
+    enum class Kind { Uint, Double, String, Flag };
+
+    struct Option
+    {
+        std::string name;
+        std::string help;
+        Kind kind;
+        std::shared_ptr<std::uint64_t> uintVal;
+        std::shared_ptr<double> doubleVal;
+        std::shared_ptr<std::string> stringVal;
+        std::shared_ptr<bool> flagVal;
+        std::string defaultText;
+    };
+
+    Option *find(const std::string &name);
+
+    std::string prog;
+    std::string description;
+    std::vector<Option> options;
+};
+
+} // namespace laoram
+
+#endif // LAORAM_UTIL_CLI_HH

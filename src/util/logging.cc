@@ -1,0 +1,63 @@
+#include "util/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace laoram {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_level >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_level >= LogLevel::Info)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::cerr << "debug: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace laoram

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Status-message and error-exit helpers, modelled after gem5's
+ * panic()/fatal()/warn()/inform() convention.
+ *
+ * panic()  — an internal invariant was violated; this is a bug in the
+ *            library itself. Aborts (may dump core).
+ * fatal()  — the *user* asked for something impossible (bad config,
+ *            invalid arguments). Exits with status 1.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — purely informational progress output.
+ */
+
+#ifndef LAORAM_UTIL_LOGGING_HH
+#define LAORAM_UTIL_LOGGING_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace laoram {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel : std::uint8_t {
+    Quiet = 0,   ///< only panic/fatal
+    Warn = 1,    ///< + warnings
+    Info = 2,    ///< + inform()
+    Debug = 3,   ///< + debug trace output
+};
+
+/** Get/set the process-wide log verbosity (default: Info). */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit a formatted message and abort; never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a formatted message and exit(1); never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal bug and abort. Usable from any context. */
+#define LAORAM_PANIC(...) \
+    ::laoram::detail::panicImpl(__FILE__, __LINE__, \
+                                ::laoram::detail::concat(__VA_ARGS__))
+
+/** Report a user error and exit(1). */
+#define LAORAM_FATAL(...) \
+    ::laoram::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::laoram::detail::concat(__VA_ARGS__))
+
+/** Panic unless a library invariant holds. */
+#define LAORAM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::laoram::detail::panicImpl(__FILE__, __LINE__, \
+                ::laoram::detail::concat("assertion failed: " #cond " ", \
+                                         ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::debugImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace laoram
+
+#endif // LAORAM_UTIL_LOGGING_HH

@@ -1,0 +1,184 @@
+#include "util/rng.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.hh"
+
+namespace laoram {
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : _seed(seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[0] + state[3], 23) + state[0];
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    LAORAM_ASSERT(bound > 0, "nextBounded requires bound > 0");
+    // Lemire's multiply-shift rejection method: unbiased and branch-light.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t threshold = -bound % bound;
+        while (l < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::nextInRange(std::int64_t lo, std::int64_t hi)
+{
+    LAORAM_ASSERT(lo <= hi, "nextInRange requires lo <= hi");
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    std::uint64_t r = (span == 0) ? next() : nextBounded(span);
+    return lo + static_cast<std::int64_t>(r);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits -> [0, 1) with full double precision.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveSpareGaussian) {
+        haveSpareGaussian = false;
+        return spareGaussian;
+    }
+    // Box-Muller: two uniforms -> two independent standard normals.
+    double u1 = nextDouble();
+    while (u1 <= 0.0)
+        u1 = nextDouble();
+    const double u2 = nextDouble();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spareGaussian = radius * std::sin(theta);
+    haveSpareGaussian = true;
+    return radius * std::cos(theta);
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0x9e3779b97f4a7c15ULL);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n(n), s(s)
+{
+    LAORAM_ASSERT(n > 0, "ZipfSampler needs at least one item");
+    LAORAM_ASSERT(s > 0.0, "Zipf skew must be positive");
+    hImaxq = h(static_cast<double>(n) + 0.5);
+    hX0 = h(0.5);
+    // t bounds the acceptance test: mass of rank 0 not covered by h.
+    t = 2.0 - hInverse(h(1.5) - std::pow(1.0, -s));
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    // Integral of x^-s: handles the s == 1 singularity with log.
+    if (std::abs(s - 1.0) < 1e-12)
+        return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+}
+
+double
+ZipfSampler::hInverse(double x) const
+{
+    if (std::abs(s - 1.0) < 1e-12)
+        return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - s), 1.0 / (1.0 - s));
+}
+
+std::uint64_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    // Rejection-inversion over the continuous envelope of the Zipf pmf.
+    while (true) {
+        const double u = hImaxq + rng.nextDouble() * (hX0 - hImaxq);
+        const double x = hInverse(u);
+        auto k = static_cast<double>(
+            static_cast<std::uint64_t>(x + 0.5));
+        if (k < 1.0)
+            k = 1.0;
+        if (k > static_cast<double>(n))
+            k = static_cast<double>(n);
+        if (k - x <= t || u >= h(k + 0.5) - std::pow(k, -s))
+            return static_cast<std::uint64_t>(k) - 1; // 0-based rank
+    }
+}
+
+GaussianIndexSampler::GaussianIndexSampler(std::uint64_t n, double mean,
+                                           double stddev)
+    : n(n),
+      mu(mean < 0.0 ? static_cast<double>(n) / 2.0 : mean),
+      sigma(stddev < 0.0 ? static_cast<double>(n) / 8.0 : stddev)
+{
+    LAORAM_ASSERT(n > 0, "GaussianIndexSampler needs n > 0");
+    LAORAM_ASSERT(sigma > 0.0, "stddev must be positive");
+}
+
+std::uint64_t
+GaussianIndexSampler::operator()(Rng &rng) const
+{
+    while (true) {
+        const double v = mu + sigma * rng.nextGaussian();
+        if (v >= 0.0 && v < static_cast<double>(n))
+            return static_cast<std::uint64_t>(v);
+    }
+}
+
+} // namespace laoram

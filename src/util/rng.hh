@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic random-number generation for the whole simulator.
+ *
+ * Every stochastic component (path assignment, workload synthesis,
+ * background-eviction path choice, ...) draws from an explicitly seeded
+ * Rng instance so that a given (seed, configuration) pair always
+ * reproduces the same metrics, independent of platform or standard
+ * library version. We therefore avoid std::*_distribution, whose output
+ * is implementation-defined, and implement the samplers ourselves.
+ *
+ * The core generator is xoshiro256++ seeded through SplitMix64, which is
+ * fast, passes BigCrush, and has a 2^256-1 period — far more than any
+ * experiment here needs.
+ */
+
+#ifndef LAORAM_UTIL_RNG_HH
+#define LAORAM_UTIL_RNG_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace laoram {
+
+/** SplitMix64 step; used for seeding and as a cheap stateless mixer. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * xoshiro256++ pseudo-random generator with convenience samplers.
+ *
+ * Not thread-safe; give each component its own instance (use split()
+ * to derive decorrelated child generators).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x1a02a3a4a5a6a7ULL);
+
+    /** Next raw 64 random bits. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's unbiased method. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool nextBool(double p = 0.5);
+
+    /**
+     * Standard normal deviate via Box-Muller (deterministic across
+     * platforms, unlike std::normal_distribution).
+     */
+    double nextGaussian();
+
+    /**
+     * Derive an independent child generator. The child is seeded from
+     * this generator's stream, so parent and child sequences are
+     * decorrelated but still fully reproducible.
+     */
+    Rng split();
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::uint64_t i = v.size(); i > 1; --i) {
+            std::uint64_t j = nextBounded(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** The seed this generator was constructed with. */
+    std::uint64_t seed() const { return _seed; }
+
+  private:
+    std::array<std::uint64_t, 4> state;
+    std::uint64_t _seed;
+    bool haveSpareGaussian = false;
+    double spareGaussian = 0.0;
+};
+
+/**
+ * Zipf(s, n) sampler over {0, ..., n-1} (rank 0 is most popular).
+ *
+ * Uses rejection-inversion (Hörmann & Derflinger 1996), which needs
+ * O(1) memory and O(1) expected time per sample — important because the
+ * XNLI-like vocabulary has 262,144 ranks and the Kaggle-like hot band
+ * adds millions more.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n number of items (> 0)
+     * @param s skew exponent (> 0, s != 1 handled as well as s == 1)
+     */
+    ZipfSampler(std::uint64_t n, double s);
+
+    /** Draw one rank in [0, n). */
+    std::uint64_t operator()(Rng &rng) const;
+
+    std::uint64_t items() const { return n; }
+    double skew() const { return s; }
+
+  private:
+    double h(double x) const;
+    double hInverse(double x) const;
+
+    std::uint64_t n;
+    double s;
+    double hImaxq;   ///< h(n + 0.5)
+    double hX0;      ///< h(0.5) precomputed
+    double t;        ///< rejection threshold constant
+};
+
+/**
+ * Gaussian sampler over integer addresses [0, n), used by the paper's
+ * "Gaussian dataset". Values are drawn from N(mean, stddev), rounded,
+ * and re-drawn while outside the range (truncated Gaussian).
+ */
+class GaussianIndexSampler
+{
+  public:
+    /**
+     * @param n       address-space size
+     * @param mean    distribution centre (default: n/2)
+     * @param stddev  spread (default: n/8)
+     */
+    explicit GaussianIndexSampler(std::uint64_t n, double mean = -1.0,
+                                  double stddev = -1.0);
+
+    std::uint64_t operator()(Rng &rng) const;
+
+    double mean() const { return mu; }
+    double stddev() const { return sigma; }
+
+  private:
+    std::uint64_t n;
+    double mu;
+    double sigma;
+};
+
+} // namespace laoram
+
+#endif // LAORAM_UTIL_RNG_HH

@@ -1,0 +1,211 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace laoram {
+
+void
+Accumulator::sample(double v)
+{
+    if (n == 0) {
+        minv = maxv = v;
+    } else {
+        minv = std::min(minv, v);
+        maxv = std::max(maxv, v);
+    }
+    ++n;
+    total += v;
+    const double delta = v - meanv;
+    meanv += delta / static_cast<double>(n);
+    m2 += delta * (v - meanv);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator{};
+}
+
+double
+Accumulator::mean() const
+{
+    return n ? meanv : 0.0;
+}
+
+double
+Accumulator::variance() const
+{
+    return n ? m2 / static_cast<double>(n) : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo(lo), hi(hi), width((hi - lo) / static_cast<double>(buckets)),
+      counts(buckets, 0)
+{
+    LAORAM_ASSERT(hi > lo, "histogram range must be non-empty");
+    LAORAM_ASSERT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++n;
+    if (v < lo) {
+        ++under;
+    } else if (v >= hi) {
+        ++over;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo) / width);
+        if (idx >= counts.size())
+            idx = counts.size() - 1; // guard fp rounding at hi boundary
+        ++counts[idx];
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    under = over = n = 0;
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo + width * static_cast<double>(i);
+}
+
+double
+Histogram::bucketHigh(std::size_t i) const
+{
+    return bucketLow(i) + width;
+}
+
+double
+Histogram::quantile(double p) const
+{
+    LAORAM_ASSERT(p >= 0.0 && p <= 1.0, "quantile p out of [0,1]");
+    if (n == 0)
+        return lo;
+    const double target = p * static_cast<double>(n);
+    double cum = static_cast<double>(under);
+    if (target <= cum)
+        return lo;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double next = cum + static_cast<double>(counts[i]);
+        if (target <= next && counts[i] > 0) {
+            const double frac = (target - cum)
+                / static_cast<double>(counts[i]);
+            return bucketLow(i) + frac * width;
+        }
+        cum = next;
+    }
+    return hi;
+}
+
+Counter &
+StatRegistry::counter(const std::string &name, const std::string &desc)
+{
+    auto it = counters.find(name);
+    if (it == counters.end())
+        it = counters.emplace(name, std::make_pair(desc, Counter{})).first;
+    return it->second.second;
+}
+
+Accumulator &
+StatRegistry::accumulator(const std::string &name, const std::string &desc)
+{
+    auto it = accums.find(name);
+    if (it == accums.end())
+        it = accums.emplace(name,
+                            std::make_pair(desc, Accumulator{})).first;
+    return it->second.second;
+}
+
+void
+StatRegistry::formula(const std::string &name, const std::string &desc,
+                      std::function<double()> fn)
+{
+    formulas[name] = FormulaEntry{desc, std::move(fn)};
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, entry] : counters)
+        entry.second.reset();
+    for (auto &[name, entry] : accums)
+        entry.second.reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    auto line = [&os](const std::string &name, double value,
+                      const std::string &desc) {
+        os << std::left << std::setw(40) << name << " "
+           << std::right << std::setw(16) << value;
+        if (!desc.empty())
+            os << "  # " << desc;
+        os << "\n";
+    };
+    for (const auto &[name, entry] : counters)
+        line(name, static_cast<double>(entry.second.value()), entry.first);
+    for (const auto &[name, entry] : accums) {
+        line(name + ".mean", entry.second.mean(), entry.first);
+        line(name + ".max", entry.second.maximum(), "");
+        line(name + ".count",
+             static_cast<double>(entry.second.count()), "");
+    }
+    for (const auto &[name, entry] : formulas)
+        line(name, entry.fn(), entry.desc);
+}
+
+void
+StatRegistry::dumpCsv(std::ostream &os) const
+{
+    os << "stat,value\n";
+    for (const auto &[name, entry] : counters)
+        os << name << "," << entry.second.value() << "\n";
+    for (const auto &[name, entry] : accums)
+        os << name << ".mean," << entry.second.mean() << "\n";
+    for (const auto &[name, entry] : formulas)
+        os << name << "," << entry.fn() << "\n";
+}
+
+const Counter &
+StatRegistry::counterAt(const std::string &name) const
+{
+    auto it = counters.find(name);
+    if (it == counters.end())
+        LAORAM_PANIC("unknown counter: ", name);
+    return it->second.second;
+}
+
+double
+StatRegistry::formulaAt(const std::string &name) const
+{
+    auto it = formulas.find(name);
+    if (it == formulas.end())
+        LAORAM_PANIC("unknown formula: ", name);
+    return it->second.fn();
+}
+
+bool
+StatRegistry::hasCounter(const std::string &name) const
+{
+    return counters.contains(name);
+}
+
+} // namespace laoram

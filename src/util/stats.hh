@@ -1,0 +1,152 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Components register named stats in a StatRegistry; at the end of a run
+ * the registry can be dumped as a readable table or as CSV. Stats are
+ * intentionally simple value types: the simulator is single-threaded and
+ * experiments consume final values only.
+ */
+
+#ifndef LAORAM_UTIL_STATS_HH
+#define LAORAM_UTIL_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace laoram {
+
+/** Monotonically increasing 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++val; return *this; }
+    Counter &operator+=(std::uint64_t d) { val += d; return *this; }
+    void reset() { val = 0; }
+    std::uint64_t value() const { return val; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** Running scalar sample statistics (count/mean/min/max/stddev). */
+class Accumulator
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const;
+    double minimum() const { return n ? minv : 0.0; }
+    double maximum() const { return n ? maxv : 0.0; }
+    /** Population variance via Welford's online algorithm. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double meanv = 0.0;
+    double m2 = 0.0;
+    double minv = 0.0;
+    double maxv = 0.0;
+};
+
+/**
+ * Fixed-width linear histogram over [lo, hi) with under/overflow
+ * buckets, plus exact quantile support while bucket resolution allows.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo       lowest tracked value (inclusive)
+     * @param hi       highest tracked value (exclusive)
+     * @param buckets  number of equal-width buckets (> 0)
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return n; }
+    std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
+    std::size_t buckets() const { return counts.size(); }
+    std::uint64_t underflow() const { return under; }
+    std::uint64_t overflow() const { return over; }
+    double bucketLow(std::size_t i) const;
+    double bucketHigh(std::size_t i) const;
+
+    /**
+     * Approximate p-quantile (0 <= p <= 1) assuming uniform density
+     * within buckets; underflow/overflow samples clamp to the range.
+     */
+    double quantile(double p) const;
+
+  private:
+    double lo;
+    double hi;
+    double width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    std::uint64_t n = 0;
+};
+
+/**
+ * Named collection of stats plus derived formulas; supports nested
+ * dotted names ("oram.pathReads") and text/CSV dumps.
+ */
+class StatRegistry
+{
+  public:
+    /** Register (or fetch an existing) counter under @p name. */
+    Counter &counter(const std::string &name, const std::string &desc = "");
+    Accumulator &accumulator(const std::string &name,
+                             const std::string &desc = "");
+
+    /**
+     * Register a derived value computed at dump time (e.g. a ratio of
+     * two counters). Re-registering replaces the formula.
+     */
+    void formula(const std::string &name, const std::string &desc,
+                 std::function<double()> fn);
+
+    /** Reset all counters/accumulators (formulas recompute anyway). */
+    void resetAll();
+
+    /** Dump "name value # desc" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Dump "name,value" CSV (header included). */
+    void dumpCsv(std::ostream &os) const;
+
+    /** Look up a counter that must already exist. */
+    const Counter &counterAt(const std::string &name) const;
+
+    /** Evaluate a registered formula by name. */
+    double formulaAt(const std::string &name) const;
+
+    bool hasCounter(const std::string &name) const;
+
+  private:
+    struct FormulaEntry
+    {
+        std::string desc;
+        std::function<double()> fn;
+    };
+
+    std::map<std::string, std::pair<std::string, Counter>> counters;
+    std::map<std::string, std::pair<std::string, Accumulator>> accums;
+    std::map<std::string, FormulaEntry> formulas;
+};
+
+} // namespace laoram
+
+#endif // LAORAM_UTIL_STATS_HH

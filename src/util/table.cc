@@ -1,0 +1,100 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace laoram {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    LAORAM_ASSERT(!header.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    LAORAM_ASSERT(cells.size() == header.size(),
+                  "row width ", cells.size(), " != header width ",
+                  header.size());
+    body.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "  " << std::left << std::setw(
+                static_cast<int>(widths[c])) << row[c];
+        }
+        os << "\n";
+    };
+
+    emitRow(header);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+    for (const auto &row : body)
+        emitRow(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit(header);
+    for (const auto &row : body)
+        emit(row);
+}
+
+std::string
+TextTable::cell(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::cell(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TextTable::bytesCell(std::uint64_t bytes)
+{
+    static const char *suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double v = static_cast<double>(bytes);
+    int s = 0;
+    while (v >= 1024.0 && s < 4) {
+        v /= 1024.0;
+        ++s;
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(v < 10 ? 2 : 1) << v << " "
+       << suffix[s];
+    return os.str();
+}
+
+} // namespace laoram

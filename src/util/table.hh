@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Console table and CSV emitters used by the benchmark harness to print
+ * paper-style rows ("Fat/S4  speedup 1.78x ...") in aligned columns.
+ */
+
+#ifndef LAORAM_UTIL_TABLE_HH
+#define LAORAM_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace laoram {
+
+/**
+ * A simple text table: set headers, append rows of strings (use the
+ * cell() helpers for numeric formatting), then print with aligned
+ * columns and a rule under the header.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+    /** Also emit the same content as CSV (for plotting scripts). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+    std::size_t columns() const { return header.size(); }
+
+    /** Format a double with @p precision decimals. */
+    static std::string cell(double v, int precision = 2);
+    static std::string cell(std::uint64_t v);
+    /** Format bytes with a human-readable suffix (KiB/MiB/GiB). */
+    static std::string bytesCell(std::uint64_t bytes);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace laoram
+
+#endif // LAORAM_UTIL_TABLE_HH

@@ -1,0 +1,36 @@
+#include "workload/dlrm_multi.hh"
+
+#include "util/rng.hh"
+#include "workload/zipf_gen.hh"
+
+namespace laoram::workload {
+
+Trace
+makeDlrmMultiTrace(const train::TableSet &tables,
+                   const DlrmMultiParams &params)
+{
+    Trace t;
+    t.name = "dlrm-multi";
+    t.numBlocks = tables.totalBlocks();
+    t.accesses.reserve(params.samples * tables.numTables());
+
+    Rng rng(params.seed);
+    // One popularity distribution per table; ranks scattered over the
+    // table's rows so "hot" is not "low row id".
+    std::vector<ZipfSampler> zipfs;
+    zipfs.reserve(tables.numTables());
+    for (std::uint64_t tab = 0; tab < tables.numTables(); ++tab)
+        zipfs.emplace_back(tables.tableRows(tab), params.skew);
+
+    for (std::uint64_t s = 0; s < params.samples; ++s) {
+        for (std::uint64_t tab = 0; tab < tables.numTables(); ++tab) {
+            const std::uint64_t rank = zipfs[tab](rng);
+            const std::uint64_t row =
+                scatterRank(rank, tables.tableRows(tab));
+            t.accesses.push_back(tables.flatten(tab, row));
+        }
+    }
+    return t;
+}
+
+} // namespace laoram::workload

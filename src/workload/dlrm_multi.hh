@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Multi-table DLRM trace synthesizer: every training sample performs
+ * one lookup in each of the model's embedding tables (26 for
+ * Criteo-class DLRM), with per-table Zipf-skewed row popularity.
+ * Flattened through train::TableSet, the result is a single-ORAM
+ * trace protecting all tables at once.
+ */
+
+#ifndef LAORAM_WORKLOAD_DLRM_MULTI_HH
+#define LAORAM_WORKLOAD_DLRM_MULTI_HH
+
+#include "train/table_set.hh"
+#include "workload/trace.hh"
+
+namespace laoram::workload {
+
+/** Multi-table generator parameters. */
+struct DlrmMultiParams
+{
+    std::uint64_t samples = 4096; ///< training samples (rows/sample = #tables)
+    double skew = 1.05;           ///< per-table Zipf exponent
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate a flattened multi-table trace: sample s contributes one
+ * access per table, in table order (the gather a DLRM batch performs).
+ */
+Trace makeDlrmMultiTrace(const train::TableSet &tables,
+                         const DlrmMultiParams &params);
+
+} // namespace laoram::workload
+
+#endif // LAORAM_WORKLOAD_DLRM_MULTI_HH

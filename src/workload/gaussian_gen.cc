@@ -1,0 +1,23 @@
+#include "workload/gaussian_gen.hh"
+
+#include "util/rng.hh"
+
+namespace laoram::workload {
+
+Trace
+makeGaussianTrace(const GaussianParams &params)
+{
+    Trace t;
+    t.name = "gaussian";
+    t.numBlocks = params.numBlocks;
+    t.accesses.reserve(params.accesses);
+
+    Rng rng(params.seed);
+    GaussianIndexSampler sampler(params.numBlocks, params.mean,
+                                 params.stddev);
+    for (std::uint64_t i = 0; i < params.accesses; ++i)
+        t.accesses.push_back(sampler(rng));
+    return t;
+}
+
+} // namespace laoram::workload

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Gaussian dataset (paper §VII-B): the address stream is sampled from
+ * a (truncated, integer-rounded) Gaussian over the table — mild
+ * temporal locality concentrated around the mean.
+ */
+
+#ifndef LAORAM_WORKLOAD_GAUSSIAN_GEN_HH
+#define LAORAM_WORKLOAD_GAUSSIAN_GEN_HH
+
+#include "workload/trace.hh"
+
+namespace laoram::workload {
+
+/** Gaussian-stream generator parameters. */
+struct GaussianParams
+{
+    std::uint64_t numBlocks = 1 << 20;
+    std::uint64_t accesses = 100000;
+    double mean = -1.0;   ///< < 0 -> numBlocks / 2
+    double stddev = -1.0; ///< < 0 -> numBlocks / 8
+    std::uint64_t seed = 1;
+};
+
+/** Generate a Gaussian-distributed address trace. */
+Trace makeGaussianTrace(const GaussianParams &params);
+
+} // namespace laoram::workload
+
+#endif // LAORAM_WORKLOAD_GAUSSIAN_GEN_HH

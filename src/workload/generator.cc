@@ -1,0 +1,99 @@
+#include "workload/generator.hh"
+
+#include "util/logging.hh"
+#include "workload/gaussian_gen.hh"
+#include "workload/kaggle_synth.hh"
+#include "workload/permutation_gen.hh"
+#include "workload/xnli_synth.hh"
+
+namespace laoram::workload {
+
+DatasetKind
+datasetFromName(const std::string &name)
+{
+    if (name == "permutation")
+        return DatasetKind::Permutation;
+    if (name == "gaussian")
+        return DatasetKind::Gaussian;
+    if (name == "kaggle")
+        return DatasetKind::Kaggle;
+    if (name == "xnli")
+        return DatasetKind::Xnli;
+    LAORAM_FATAL("unknown dataset '", name,
+                 "' (expected permutation|gaussian|kaggle|xnli)");
+}
+
+const char *
+datasetName(DatasetKind kind)
+{
+    switch (kind) {
+      case DatasetKind::Permutation: return "permutation";
+      case DatasetKind::Gaussian: return "gaussian";
+      case DatasetKind::Kaggle: return "kaggle";
+      case DatasetKind::Xnli: return "xnli";
+    }
+    return "unknown";
+}
+
+Trace
+makeTrace(DatasetKind kind, std::uint64_t numBlocks,
+          std::uint64_t accesses, std::uint64_t seed)
+{
+    switch (kind) {
+      case DatasetKind::Permutation: {
+        PermutationParams p;
+        p.numBlocks = numBlocks;
+        p.accesses = accesses;
+        p.seed = seed;
+        return makePermutationTrace(p);
+      }
+      case DatasetKind::Gaussian: {
+        GaussianParams p;
+        p.numBlocks = numBlocks;
+        p.accesses = accesses;
+        p.seed = seed;
+        return makeGaussianTrace(p);
+      }
+      case DatasetKind::Kaggle: {
+        KaggleParams p;
+        p.numBlocks = numBlocks;
+        p.accesses = accesses;
+        p.seed = seed;
+        return makeKaggleTrace(p);
+      }
+      case DatasetKind::Xnli: {
+        XnliParams p;
+        p.vocabSize = numBlocks;
+        p.accesses = accesses;
+        p.seed = seed;
+        return makeXnliTrace(p);
+      }
+    }
+    LAORAM_PANIC("unreachable dataset kind");
+}
+
+std::uint64_t
+paperNumBlocks(DatasetKind kind)
+{
+    switch (kind) {
+      case DatasetKind::Permutation: return std::uint64_t{8} << 20;
+      case DatasetKind::Gaussian: return std::uint64_t{8} << 20;
+      case DatasetKind::Kaggle: return 10131227;
+      case DatasetKind::Xnli: return 262144;
+    }
+    return 0;
+}
+
+std::uint64_t
+paperBlockBytes(DatasetKind kind)
+{
+    switch (kind) {
+      case DatasetKind::Permutation: return 128;
+      case DatasetKind::Gaussian: return 128;
+      case DatasetKind::Kaggle: return 128;
+      case DatasetKind::Xnli: return 4096;
+    }
+    return 0;
+}
+
+} // namespace laoram::workload

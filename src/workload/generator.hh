@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Unified trace-generator factory used by benches and examples: one
+ * enum per paper dataset, one call to build a trace at any scale.
+ */
+
+#ifndef LAORAM_WORKLOAD_GENERATOR_HH
+#define LAORAM_WORKLOAD_GENERATOR_HH
+
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace laoram::workload {
+
+/** The paper's evaluation datasets (§VII-B). */
+enum class DatasetKind
+{
+    Permutation, ///< worst case: no repeats within an epoch
+    Gaussian,    ///< mild locality around the table centre
+    Kaggle,      ///< DLRM / Criteo-like: uniform cloud + thin hot band
+    Xnli,        ///< XLM-R / XNLI-like: Zipfian token stream
+};
+
+/** Parse "permutation" / "gaussian" / "kaggle" / "xnli". */
+DatasetKind datasetFromName(const std::string &name);
+
+/** Human-readable dataset name. */
+const char *datasetName(DatasetKind kind);
+
+/**
+ * Build a trace of @p accesses over a table of @p numBlocks entries.
+ * Dataset-specific shape parameters use the calibrated defaults from
+ * the per-generator headers.
+ */
+Trace makeTrace(DatasetKind kind, std::uint64_t numBlocks,
+                std::uint64_t accesses, std::uint64_t seed);
+
+/** Paper table sizes for each dataset (§VII-C, Table I). */
+std::uint64_t paperNumBlocks(DatasetKind kind);
+
+/** Paper logical row bytes for each dataset (§VII-C). */
+std::uint64_t paperBlockBytes(DatasetKind kind);
+
+} // namespace laoram::workload
+
+#endif // LAORAM_WORKLOAD_GENERATOR_HH

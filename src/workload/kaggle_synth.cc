@@ -1,0 +1,41 @@
+#include "workload/kaggle_synth.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace laoram::workload {
+
+Trace
+makeKaggleTrace(const KaggleParams &params)
+{
+    LAORAM_ASSERT(params.hotSetSize <= params.numBlocks,
+                  "hot set larger than the table");
+    LAORAM_ASSERT(params.hotProbability >= 0.0
+                      && params.hotProbability <= 1.0,
+                  "hot probability must be in [0,1]");
+
+    Trace t;
+    t.name = "kaggle";
+    t.numBlocks = params.numBlocks;
+    t.accesses.reserve(params.accesses);
+
+    Rng rng(params.seed);
+    ZipfSampler hot(std::max<std::uint64_t>(params.hotSetSize, 1),
+                    params.hotSkew);
+
+    for (std::uint64_t i = 0; i < params.accesses; ++i) {
+        if (rng.nextBool(params.hotProbability)) {
+            // Hot band: Zipf over the lowest indices — reproduces the
+            // dark band at the bottom of Fig. 2.
+            t.accesses.push_back(hot(rng));
+        } else {
+            // Cold cloud: uniform over the whole table.
+            t.accesses.push_back(rng.nextBounded(params.numBlocks));
+        }
+    }
+    return t;
+}
+
+} // namespace laoram::workload

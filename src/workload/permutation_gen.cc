@@ -1,0 +1,35 @@
+#include "workload/permutation_gen.hh"
+
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace laoram::workload {
+
+Trace
+makePermutationTrace(const PermutationParams &params)
+{
+    LAORAM_ASSERT(params.numBlocks > 0, "empty address space");
+    Trace t;
+    t.name = "permutation";
+    t.numBlocks = params.numBlocks;
+    t.accesses.reserve(params.accesses);
+
+    Rng rng(params.seed);
+    std::vector<BlockId> perm(params.numBlocks);
+    std::iota(perm.begin(), perm.end(), BlockId{0});
+
+    std::uint64_t cursor = perm.size(); // forces a shuffle on entry
+    while (t.accesses.size() < params.accesses) {
+        if (cursor == perm.size()) {
+            // New epoch: every address exactly once, fresh order.
+            rng.shuffle(perm);
+            cursor = 0;
+        }
+        t.accesses.push_back(perm[cursor++]);
+    }
+    return t;
+}
+
+} // namespace laoram::workload

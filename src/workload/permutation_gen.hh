@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Permutation dataset (paper §VII-B): addresses are drawn without
+ * repetition until every address has been accessed once, then the
+ * process restarts with a fresh permutation. The PathORAM paper proves
+ * this maximises stash pressure, so it is LAORAM's worst case.
+ */
+
+#ifndef LAORAM_WORKLOAD_PERMUTATION_GEN_HH
+#define LAORAM_WORKLOAD_PERMUTATION_GEN_HH
+
+#include "workload/trace.hh"
+
+namespace laoram::workload {
+
+/** Permutation-stream generator parameters. */
+struct PermutationParams
+{
+    std::uint64_t numBlocks = 1 << 20;
+    std::uint64_t accesses = 100000;
+    std::uint64_t seed = 1;
+};
+
+/** Generate a permutation trace (possibly spanning several epochs). */
+Trace makePermutationTrace(const PermutationParams &params);
+
+} // namespace laoram::workload
+
+#endif // LAORAM_WORKLOAD_PERMUTATION_GEN_HH

@@ -1,0 +1,81 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace laoram::workload {
+
+std::uint64_t
+Trace::uniqueCount() const
+{
+    std::unordered_map<BlockId, bool> seen;
+    seen.reserve(accesses.size());
+    for (BlockId id : accesses)
+        seen[id] = true;
+    return seen.size();
+}
+
+double
+Trace::hotMass(std::uint64_t topN) const
+{
+    if (accesses.empty() || topN == 0)
+        return 0.0;
+    std::unordered_map<BlockId, std::uint64_t> freq;
+    freq.reserve(accesses.size());
+    for (BlockId id : accesses)
+        ++freq[id];
+    std::vector<std::uint64_t> counts;
+    counts.reserve(freq.size());
+    for (const auto &[id, n] : freq)
+        counts.push_back(n);
+    std::sort(counts.rbegin(), counts.rend());
+    std::uint64_t hot = 0;
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(
+             topN, counts.size()); ++i) {
+        hot += counts[i];
+    }
+    return static_cast<double>(hot)
+        / static_cast<double>(accesses.size());
+}
+
+void
+Trace::save(std::ostream &os) const
+{
+    os << "laoram-trace 1 " << (name.empty() ? "unnamed" : name) << " "
+       << numBlocks << " " << accesses.size() << "\n";
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        os << accesses[i];
+        os << (((i + 1) % 16 == 0) ? '\n' : ' ');
+    }
+    os << "\n";
+}
+
+Trace
+Trace::load(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    Trace t;
+    std::uint64_t count = 0;
+    is >> magic >> version >> t.name >> t.numBlocks >> count;
+    if (!is || magic != "laoram-trace")
+        LAORAM_FATAL("not a laoram-trace stream (magic '", magic, "')");
+    if (version != 1)
+        LAORAM_FATAL("unsupported trace version ", version);
+    t.accesses.resize(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        is >> t.accesses[i];
+        if (!is)
+            LAORAM_FATAL("trace truncated at access ", i, " of ", count);
+        if (t.accesses[i] >= t.numBlocks)
+            LAORAM_FATAL("trace access ", t.accesses[i],
+                         " out of range for table of ", t.numBlocks);
+    }
+    return t;
+}
+
+} // namespace laoram::workload

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Address-trace container plus text serialisation.
+ *
+ * A Trace is what every ORAM engine consumes: an ordered list of
+ * embedding-table row indices ("block ids") together with the table
+ * size they index into. The serialised form lets experiments be
+ * re-run on externally produced traces (e.g. indices extracted from a
+ * real Criteo Kaggle preprocessing run, which we cannot redistribute).
+ */
+
+#ifndef LAORAM_WORKLOAD_TRACE_HH
+#define LAORAM_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "oram/types.hh"
+
+namespace laoram::workload {
+
+using oram::BlockId;
+
+/** An embedding access trace. */
+struct Trace
+{
+    std::string name;          ///< dataset label ("permutation", ...)
+    std::uint64_t numBlocks = 0; ///< embedding-table rows indexed
+    std::vector<BlockId> accesses;
+
+    std::uint64_t size() const { return accesses.size(); }
+
+    /** Distinct ids appearing in the trace. */
+    std::uint64_t uniqueCount() const;
+
+    /**
+     * Fraction of accesses landing in the @p topN most frequent ids —
+     * the "hot band mass" used to calibrate the Kaggle-like
+     * synthesizer against paper Fig. 2.
+     */
+    double hotMass(std::uint64_t topN) const;
+
+    /** Serialise as "laoram-trace 1 <name> <numBlocks> <n>" + ids. */
+    void save(std::ostream &os) const;
+
+    /** Parse the save() format; fatal on malformed input. */
+    static Trace load(std::istream &is);
+};
+
+} // namespace laoram::workload
+
+#endif // LAORAM_WORKLOAD_TRACE_HH

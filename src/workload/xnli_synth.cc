@@ -1,0 +1,22 @@
+#include "workload/xnli_synth.hh"
+
+#include "workload/zipf_gen.hh"
+
+namespace laoram::workload {
+
+Trace
+makeXnliTrace(const XnliParams &params)
+{
+    ZipfParams zp;
+    zp.numBlocks = params.vocabSize;
+    zp.accesses = params.accesses;
+    zp.skew = params.skew;
+    zp.scatterRanks = true;
+    zp.seed = params.seed;
+
+    Trace t = makeZipfTrace(zp);
+    t.name = "xnli";
+    return t;
+}
+
+} // namespace laoram::workload

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * XNLI-like (XLM-R) trace synthesizer.
+ *
+ * XLM-R tokenises the multilingual XNLI corpus through a 262,144-entry
+ * SentencePiece vocabulary (paper §VII-C: 262,144 rows of 4 KiB).
+ * Natural-language token frequencies are famously Zipfian, so the
+ * synthesizer draws token ranks from Zipf(s≈1) and scatters ranks over
+ * the id space (vocabulary ids are not frequency-sorted). This yields
+ * the high duplicate rate the paper credits for XNLI's near-zero dummy
+ * read counts (Table II).
+ */
+
+#ifndef LAORAM_WORKLOAD_XNLI_SYNTH_HH
+#define LAORAM_WORKLOAD_XNLI_SYNTH_HH
+
+#include "workload/trace.hh"
+
+namespace laoram::workload {
+
+/** XNLI-like synthesizer parameters. */
+struct XnliParams
+{
+    std::uint64_t vocabSize = 262144; ///< XLM-R vocabulary (paper)
+    std::uint64_t accesses = 100000;
+    double skew = 1.0;                ///< token-frequency Zipf exponent
+    std::uint64_t seed = 1;
+};
+
+/** Generate an XNLI/XLM-R-like token-id trace. */
+Trace makeXnliTrace(const XnliParams &params);
+
+} // namespace laoram::workload
+
+#endif // LAORAM_WORKLOAD_XNLI_SYNTH_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Plain Zipf trace generator — the building block for the NLP-style
+ * synthetic datasets and for locality-sweep ablations.
+ */
+
+#ifndef LAORAM_WORKLOAD_ZIPF_GEN_HH
+#define LAORAM_WORKLOAD_ZIPF_GEN_HH
+
+#include "workload/trace.hh"
+
+namespace laoram::workload {
+
+/** Zipf-stream generator parameters. */
+struct ZipfParams
+{
+    std::uint64_t numBlocks = 1 << 20;
+    std::uint64_t accesses = 100000;
+    double skew = 1.0;            ///< Zipf exponent
+    bool scatterRanks = true;     ///< decorrelate rank from id
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate a Zipf-distributed trace. With @p scatterRanks the
+ * popularity ranks are spread over the id space by a fixed bijection,
+ * so "hot" does not mean "low id" (vocabulary ids are not
+ * frequency-sorted in real embedding tables).
+ */
+Trace makeZipfTrace(const ZipfParams &params);
+
+/** The rank -> id bijection used when scatterRanks is set. */
+BlockId scatterRank(std::uint64_t rank, std::uint64_t numBlocks);
+
+} // namespace laoram::workload
+
+#endif // LAORAM_WORKLOAD_ZIPF_GEN_HH

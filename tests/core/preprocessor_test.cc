@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Preprocessor tests: bin formation, dedup, future-path metadata
+ * correctness (checked against a brute-force reference), and path
+ * uniformity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/preprocessor.hh"
+#include "util/rng.hh"
+
+namespace laoram::core {
+namespace {
+
+Preprocessor
+makePrep(std::uint64_t s, std::uint64_t leaves = 64,
+         std::uint64_t seed = 9)
+{
+    return Preprocessor(PreprocessorConfig{s, leaves}, seed);
+}
+
+TEST(Preprocessor, EmptyStream)
+{
+    auto prep = makePrep(4);
+    const auto res = prep.run(std::vector<BlockId>{});
+    EXPECT_TRUE(res.bins.empty());
+    EXPECT_EQ(res.totalAccesses, 0u);
+}
+
+TEST(Preprocessor, ExactBins)
+{
+    auto prep = makePrep(2);
+    const auto res = prep.run({1, 2, 3, 4, 5, 6});
+    ASSERT_EQ(res.bins.size(), 3u);
+    EXPECT_EQ(res.bins[0].members, (std::vector<BlockId>{1, 2}));
+    EXPECT_EQ(res.bins[1].members, (std::vector<BlockId>{3, 4}));
+    EXPECT_EQ(res.bins[2].members, (std::vector<BlockId>{5, 6}));
+    for (const auto &bin : res.bins)
+        EXPECT_EQ(validateBin(bin), "");
+}
+
+TEST(Preprocessor, TrailingPartialBin)
+{
+    auto prep = makePrep(4);
+    const auto res = prep.run({1, 2, 3, 4, 5});
+    ASSERT_EQ(res.bins.size(), 2u);
+    EXPECT_EQ(res.bins[1].members, (std::vector<BlockId>{5}));
+    EXPECT_EQ(res.bins[1].rawAccesses, 1u);
+}
+
+TEST(Preprocessor, DuplicatesCollapseWithinOpenBin)
+{
+    auto prep = makePrep(3);
+    const auto res = prep.run({7, 7, 7, 8, 9, 1, 1, 2});
+    ASSERT_EQ(res.bins.size(), 2u);
+    EXPECT_EQ(res.bins[0].members, (std::vector<BlockId>{7, 8, 9}));
+    EXPECT_EQ(res.bins[0].rawAccesses, 5u);
+    EXPECT_EQ(res.bins[1].members, (std::vector<BlockId>{1, 1 + 1}));
+    EXPECT_EQ(res.bins[1].rawAccesses, 3u);
+}
+
+TEST(Preprocessor, RawAccessesSumToStreamLength)
+{
+    auto prep = makePrep(4);
+    Rng rng(1);
+    std::vector<BlockId> stream;
+    for (int i = 0; i < 997; ++i)
+        stream.push_back(rng.nextBounded(50));
+    const auto res = prep.run(stream);
+    std::uint64_t total = 0;
+    for (const auto &bin : res.bins)
+        total += bin.rawAccesses;
+    EXPECT_EQ(total, stream.size());
+    EXPECT_EQ(res.totalAccesses, stream.size());
+}
+
+TEST(Preprocessor, PathsInRange)
+{
+    auto prep = makePrep(4, 32);
+    Rng rng(2);
+    std::vector<BlockId> stream;
+    for (int i = 0; i < 500; ++i)
+        stream.push_back(rng.nextBounded(100));
+    const auto res = prep.run(stream);
+    for (const auto &bin : res.bins) {
+        EXPECT_LT(bin.path, 32u);
+        for (Leaf p : bin.nextPaths)
+            EXPECT_TRUE(p == kNoFuturePath || p < 32);
+    }
+}
+
+TEST(Preprocessor, NextPathsMatchBruteForce)
+{
+    // Reference: for bin i member b, the next path is the path of the
+    // first bin j > i with b among its members.
+    auto prep = makePrep(3, 128);
+    Rng rng(3);
+    std::vector<BlockId> stream;
+    for (int i = 0; i < 600; ++i)
+        stream.push_back(rng.nextBounded(20)); // heavy repetition
+    const auto res = prep.run(stream);
+
+    for (std::size_t i = 0; i < res.bins.size(); ++i) {
+        const auto &bin = res.bins[i];
+        for (std::size_t j = 0; j < bin.members.size(); ++j) {
+            Leaf expected = kNoFuturePath;
+            for (std::size_t k = i + 1; k < res.bins.size(); ++k) {
+                const auto &later = res.bins[k];
+                bool contains = false;
+                for (BlockId m : later.members)
+                    contains |= (m == bin.members[j]);
+                if (contains) {
+                    expected = later.path;
+                    break;
+                }
+            }
+            EXPECT_EQ(bin.nextPaths[j], expected)
+                << "bin " << i << " member " << j;
+        }
+    }
+}
+
+TEST(Preprocessor, FutureLinkedCountsRepeats)
+{
+    auto prep = makePrep(2);
+    // Block 1 appears in bins {1,2}, {1,3}: first occurrence links
+    // forward, second does not.
+    const auto res = prep.run({1, 2, 1, 3});
+    ASSERT_EQ(res.bins.size(), 2u);
+    EXPECT_EQ(res.futureLinked, 1u);
+    EXPECT_EQ(res.bins[0].nextPaths[0], res.bins[1].path);
+    EXPECT_EQ(res.bins[0].nextPaths[1], kNoFuturePath);
+}
+
+TEST(Preprocessor, UniqueBlocksCounted)
+{
+    auto prep = makePrep(4);
+    const auto res = prep.run({1, 2, 1, 2, 3});
+    EXPECT_EQ(res.uniqueBlocks, 3u);
+}
+
+TEST(Preprocessor, DeterministicBySeed)
+{
+    auto prep1 = makePrep(4, 64, 42);
+    auto prep2 = makePrep(4, 64, 42);
+    std::vector<BlockId> stream{5, 9, 2, 7, 5, 1, 0, 4, 3};
+    const auto r1 = prep1.run(stream);
+    const auto r2 = prep2.run(stream);
+    ASSERT_EQ(r1.bins.size(), r2.bins.size());
+    for (std::size_t i = 0; i < r1.bins.size(); ++i) {
+        EXPECT_EQ(r1.bins[i].path, r2.bins[i].path);
+        EXPECT_EQ(r1.bins[i].members, r2.bins[i].members);
+    }
+}
+
+TEST(Preprocessor, BinPathsAreUniform)
+{
+    // §IV-B-3: superblock paths come from U(leaves); coarse chi-square.
+    constexpr std::uint64_t kLeaves = 16;
+    auto prep = makePrep(1, kLeaves, 11);
+    std::vector<BlockId> stream(16000);
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        stream[i] = static_cast<BlockId>(i); // all distinct
+    const auto res = prep.run(stream);
+    std::vector<std::uint64_t> hist(kLeaves, 0);
+    for (const auto &bin : res.bins)
+        ++hist[bin.path];
+    const double expected =
+        static_cast<double>(res.bins.size()) / kLeaves;
+    double chi2 = 0;
+    for (auto c : hist) {
+        chi2 += (static_cast<double>(c) - expected)
+            * (static_cast<double>(c) - expected) / expected;
+    }
+    EXPECT_LT(chi2, 45.0); // df=15
+}
+
+TEST(Preprocessor, SuperblockSizeOne)
+{
+    auto prep = makePrep(1);
+    const auto res = prep.run({4, 4, 4});
+    // S=1: every access (even repeats) closes a bin immediately.
+    ASSERT_EQ(res.bins.size(), 3u);
+    for (const auto &bin : res.bins)
+        EXPECT_EQ(bin.members.size(), 1u);
+}
+
+TEST(ValidateBin, CatchesBadBins)
+{
+    SuperblockBin bin;
+    EXPECT_NE(validateBin(bin), ""); // empty
+
+    bin.members = {1, 2};
+    bin.nextPaths = {0};
+    bin.rawAccesses = 2;
+    EXPECT_NE(validateBin(bin), ""); // parallel mismatch
+
+    bin.nextPaths = {0, 0};
+    bin.rawAccesses = 1;
+    EXPECT_NE(validateBin(bin), ""); // raw < members
+
+    bin.rawAccesses = 2;
+    EXPECT_EQ(validateBin(bin), "");
+
+    bin.members = {3, 3};
+    EXPECT_NE(validateBin(bin), ""); // duplicate member
+}
+
+} // namespace
+} // namespace laoram::core

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Analytic-bound property tests (paper §VIII-F): measured LAORAM
+ * traffic reduction over PathORAM can never exceed the paper's upper
+ * bounds — superblockSize for a normal tree and
+ * 2(Z+1)/(3Z+1) * superblockSize for the fat tree — and the warm
+ * steady state approaches 1/S path reads per access.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/laoram_client.hh"
+#include "oram/path_oram.hh"
+#include "workload/permutation_gen.hh"
+#include "workload/zipf_gen.hh"
+
+namespace laoram::core {
+namespace {
+
+struct BoundCase
+{
+    std::uint64_t superblock;
+    bool fat;
+};
+
+class TrafficBounds : public ::testing::TestWithParam<BoundCase>
+{
+};
+
+TEST_P(TrafficBounds, ReductionRespectsPaperBound)
+{
+    const auto p = GetParam();
+    constexpr std::uint64_t kBlocks = 2048;
+    constexpr double kZ = 4.0;
+
+    // High-reuse stream: the most favourable case for LAORAM, i.e.
+    // the one that approaches (and must not exceed) the bound.
+    workload::ZipfParams zp;
+    zp.numBlocks = kBlocks;
+    zp.accesses = 20000;
+    zp.skew = 1.1;
+    zp.seed = 3;
+    const auto trace = workload::makeZipfTrace(zp).accesses;
+
+    oram::EngineConfig base;
+    base.numBlocks = kBlocks;
+    base.blockBytes = 64;
+    base.seed = 9;
+    base.profile = oram::BucketProfile::uniform(4);
+    oram::PathOram path(base);
+    path.runTrace(trace);
+
+    LaoramConfig lcfg;
+    lcfg.base = base;
+    lcfg.base.profile = p.fat ? oram::BucketProfile::fat(4)
+                              : oram::BucketProfile::uniform(4);
+    lcfg.superblockSize = p.superblock;
+    Laoram laoram(lcfg);
+    laoram.runTrace(trace);
+
+    const double reduction =
+        static_cast<double>(path.meter().counters().totalBytes())
+        / static_cast<double>(
+              laoram.meter().counters().totalBytes());
+
+    const double s = static_cast<double>(p.superblock);
+    const double bound =
+        p.fat ? 2.0 * (kZ + 1.0) / (3.0 * kZ + 1.0) * s : s;
+    EXPECT_LE(reduction, bound * 1.02)
+        << "measured reduction exceeds the paper's analytic bound";
+    if (p.superblock >= 2) {
+        EXPECT_GT(reduction, 1.0)
+            << "superblocks should beat PathORAM on a reuse-heavy "
+               "stream";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TrafficBounds,
+    ::testing::Values(BoundCase{1, false}, BoundCase{2, false},
+                      BoundCase{4, false}, BoundCase{8, false},
+                      BoundCase{2, true}, BoundCase{4, true},
+                      BoundCase{8, true}));
+
+TEST(TrafficBounds, WarmSteadyStateApproachesOneOverS)
+{
+    // Fully re-used stream (repeated epochs, whole-trace look-ahead):
+    // path reads per access must converge toward 1/S.
+    constexpr std::uint64_t kBlocks = 1024;
+    constexpr std::uint64_t kS = 4;
+
+    LaoramConfig cfg;
+    cfg.base.numBlocks = kBlocks;
+    cfg.base.blockBytes = 64;
+    cfg.base.seed = 4;
+    cfg.superblockSize = kS;
+    Laoram oram(cfg);
+
+    workload::PermutationParams pp;
+    pp.numBlocks = kBlocks;
+    pp.accesses = kBlocks * 12; // long run, one look-ahead window
+    pp.seed = 5;
+    oram.runTrace(workload::makePermutationTrace(pp).accesses);
+
+    // Overall rate = (1 cold epoch + 11 warm epochs) / 12; warm rate
+    // is 1/S, so expect ~(1 + 11/4)/12 = 0.3125, and certainly below
+    // 0.4.
+    const double rpa =
+        oram.meter().counters().pathReadsPerAccess();
+    EXPECT_LT(rpa, 0.40);
+    EXPECT_GT(rpa, 1.0 / static_cast<double>(kS) - 0.02);
+}
+
+} // namespace
+} // namespace laoram::core

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * ChaCha20 validated against the RFC 8439 reference vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "crypto/chacha20.hh"
+
+namespace laoram::crypto {
+namespace {
+
+Key256
+rfcKey()
+{
+    // 00 01 02 ... 1f
+    Key256 key{};
+    for (int i = 0; i < 32; ++i)
+        key[i] = static_cast<std::uint8_t>(i);
+    return key;
+}
+
+TEST(ChaCha20, Rfc8439BlockVector)
+{
+    // RFC 8439 §2.3.2: key 00..1f, nonce 000000090000004a00000000,
+    // counter 1.
+    const Key256 key = rfcKey();
+    Nonce96 nonce{};
+    nonce[3] = 0x09;
+    nonce[7] = 0x4a;
+
+    std::uint8_t out[64];
+    ChaCha20::block(key, nonce, 1, out);
+
+    static const std::uint8_t expected[64] = {
+        0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15,
+        0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20, 0x71, 0xc4,
+        0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03,
+        0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4, 0x6c, 0x4e,
+        0xd2, 0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09,
+        0x14, 0xc2, 0xd7, 0x05, 0xd9, 0x8b, 0x02, 0xa2,
+        0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9,
+        0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e,
+    };
+    EXPECT_EQ(std::memcmp(out, expected, 64), 0);
+}
+
+TEST(ChaCha20, Rfc8439EncryptionVector)
+{
+    // RFC 8439 §2.4.2: the "Ladies and Gentlemen..." plaintext with
+    // nonce 000000000000004a00000000 and counter 1.
+    const Key256 key = rfcKey();
+    Nonce96 nonce{};
+    nonce[7] = 0x4a;
+
+    const char *plaintext =
+        "Ladies and Gentlemen of the class of '99: If I could offer you "
+        "only one tip for the future, sunscreen would be it.";
+    std::vector<std::uint8_t> buf(
+        reinterpret_cast<const std::uint8_t *>(plaintext),
+        reinterpret_cast<const std::uint8_t *>(plaintext)
+            + std::strlen(plaintext));
+
+    ChaCha20::xorStream(key, nonce, 1, buf.data(), buf.size());
+
+    static const std::uint8_t expected_head[16] = {
+        0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80,
+        0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d, 0x69, 0x81,
+    };
+    ASSERT_GE(buf.size(), 16u);
+    EXPECT_EQ(std::memcmp(buf.data(), expected_head, 16), 0);
+}
+
+TEST(ChaCha20, XorStreamRoundTrips)
+{
+    const Key256 key = rfcKey();
+    Nonce96 nonce{};
+    nonce[0] = 0x42;
+    std::vector<std::uint8_t> data(333);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    const std::vector<std::uint8_t> original = data;
+
+    ChaCha20::xorStream(key, nonce, 0, data.data(), data.size());
+    EXPECT_NE(data, original);
+    ChaCha20::xorStream(key, nonce, 0, data.data(), data.size());
+    EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20, DifferentNoncesDiverge)
+{
+    const Key256 key = rfcKey();
+    Nonce96 n1{}, n2{};
+    n2[11] = 1;
+    std::uint8_t a[64], b[64];
+    ChaCha20::block(key, n1, 0, a);
+    ChaCha20::block(key, n2, 0, b);
+    EXPECT_NE(std::memcmp(a, b, 64), 0);
+}
+
+TEST(ChaCha20, DifferentCountersDiverge)
+{
+    const Key256 key = rfcKey();
+    Nonce96 nonce{};
+    std::uint8_t a[64], b[64];
+    ChaCha20::block(key, nonce, 0, a);
+    ChaCha20::block(key, nonce, 1, b);
+    EXPECT_NE(std::memcmp(a, b, 64), 0);
+}
+
+TEST(ChaCha20, PartialBlockLengths)
+{
+    const Key256 key = rfcKey();
+    Nonce96 nonce{};
+    for (std::size_t len : {0UL, 1UL, 63UL, 64UL, 65UL, 128UL, 200UL}) {
+        std::vector<std::uint8_t> data(len, 0xAB);
+        const auto original = data;
+        ChaCha20::xorStream(key, nonce, 5, data.data(), data.size());
+        ChaCha20::xorStream(key, nonce, 5, data.data(), data.size());
+        EXPECT_EQ(data, original) << "len=" << len;
+    }
+}
+
+} // namespace
+} // namespace laoram::crypto

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Position-map tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "oram/position_map.hh"
+
+namespace laoram::oram {
+namespace {
+
+TEST(PositionMap, InitialLeavesInRange)
+{
+    Rng rng(1);
+    PositionMap pm(1000, 64, rng);
+    EXPECT_EQ(pm.size(), 1000u);
+    for (BlockId id = 0; id < 1000; ++id)
+        EXPECT_LT(pm.get(id), 64u);
+}
+
+TEST(PositionMap, InitialLeavesRoughlyUniform)
+{
+    Rng rng(2);
+    constexpr std::uint64_t kLeaves = 16;
+    PositionMap pm(16000, kLeaves, rng);
+    std::vector<int> hist(kLeaves, 0);
+    for (BlockId id = 0; id < 16000; ++id)
+        ++hist[pm.get(id)];
+    const double expected = 1000.0;
+    double chi2 = 0;
+    for (int c : hist)
+        chi2 += (c - expected) * (c - expected) / expected;
+    EXPECT_LT(chi2, 45.0); // df=15, very generous
+}
+
+TEST(PositionMap, SetGet)
+{
+    Rng rng(3);
+    PositionMap pm(10, 8, rng);
+    pm.set(3, 5);
+    EXPECT_EQ(pm.get(3), 5u);
+    pm.set(3, 0);
+    EXPECT_EQ(pm.get(3), 0u);
+}
+
+TEST(PositionMap, ResidentBytes)
+{
+    Rng rng(4);
+    PositionMap pm(100, 8, rng);
+    EXPECT_EQ(pm.residentBytes(), 100 * sizeof(Leaf));
+}
+
+} // namespace
+} // namespace laoram::oram

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Prefetch-retention (stash pinning) tests: superblock engines keep
+ * fetched group members client-side until their predicted accesses
+ * arrive, then release them; capacity pressure overrides retention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "oram/pro_oram.hh"
+#include "oram/stash.hh"
+#include "util/rng.hh"
+
+namespace laoram::oram {
+namespace {
+
+TEST(StashPinning, UnpinAllClearsEveryPin)
+{
+    Stash s;
+    s.put(1, 0).pinned = true;
+    s.put(2, 0).pinned = true;
+    s.put(3, 0);
+    s.unpinAll();
+    for (const auto &[id, entry] : s)
+        EXPECT_FALSE(entry.pinned);
+}
+
+StaticSuperblockConfig
+cfg(std::uint64_t blocks, std::uint64_t sb)
+{
+    StaticSuperblockConfig c;
+    c.base.numBlocks = blocks;
+    c.base.blockBytes = 64;
+    c.base.seed = 91;
+    c.superblockSize = sb;
+    return c;
+}
+
+TEST(Retention, GroupFetchPinsSiblings)
+{
+    StaticSuperblockOram oram(cfg(64, 4));
+    oram.touch(0);
+    // Blocks 1..3 were co-fetched and must be resident and pinned.
+    for (BlockId m = 1; m < 4; ++m) {
+        const StashEntry *e = oram.stashForAudit().find(m);
+        ASSERT_NE(e, nullptr) << "sibling " << m << " not retained";
+        EXPECT_TRUE(e->pinned);
+    }
+}
+
+TEST(Retention, SiblingAccessesAreFree)
+{
+    StaticSuperblockOram oram(cfg(64, 4));
+    oram.touch(0);
+    const auto before = oram.meter().counters();
+    oram.touch(1);
+    oram.touch(2);
+    oram.touch(3);
+    const auto d = oram.meter().counters().since(before);
+    EXPECT_EQ(d.pathReads, 0u);
+    EXPECT_EQ(d.stashHits, 3u);
+    EXPECT_EQ(d.logicalAccesses, 3u);
+    // All pins released after their accesses arrived.
+    for (BlockId m = 0; m < 4; ++m) {
+        if (const StashEntry *e = oram.stashForAudit().find(m))
+            EXPECT_FALSE(e->pinned) << "block " << m;
+    }
+}
+
+TEST(Retention, FourAccessesOnePathRead)
+{
+    // The PrORAM promise: n accesses to a formed superblock need n/S
+    // path reads.
+    StaticSuperblockOram oram(cfg(64, 4));
+    const auto before = oram.meter().counters();
+    for (BlockId m = 0; m < 4; ++m)
+        oram.touch(m);
+    const auto d = oram.meter().counters().since(before);
+    EXPECT_EQ(d.pathReads, 1u);
+    EXPECT_EQ(d.logicalAccesses, 4u);
+}
+
+TEST(Retention, CapacityPressureDropsPins)
+{
+    // Tiny high-water mark: fetching groups without consuming them
+    // must trigger eviction, which unpins and drains.
+    StaticSuperblockConfig c = cfg(512, 8);
+    c.base.stashHighWater = 12;
+    c.base.stashLowWater = 4;
+    StaticSuperblockOram oram(c);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i)
+        oram.touch(rng.nextBounded(512));
+    // The stash cannot stay above the drain target + one batch worth
+    // of pins.
+    EXPECT_LT(oram.stashSize(), 12u + 8u);
+}
+
+TEST(Retention, ProOramSplitReleasesPins)
+{
+    ProOramConfig pc;
+    pc.base.numBlocks = 256;
+    pc.base.blockBytes = 64;
+    pc.base.seed = 17;
+    pc.groupSize = 4;
+    ProOram oram(pc);
+
+    // Merge group 0, leaving siblings pinned after one access.
+    for (int round = 0; round < 8; ++round)
+        for (BlockId m = 0; m < 4; ++m)
+            oram.touch(m);
+    ASSERT_GE(oram.mergedGroups(), 1u);
+
+    // Decay the counter until split; pins must be gone afterwards.
+    Rng rng(5);
+    for (int i = 0; i < 12 && oram.totalSplits() == 0; ++i) {
+        oram.touch(0);
+        for (int j = 0; j < 300; ++j)
+            oram.touch(128 + rng.nextBounded(64));
+    }
+    ASSERT_GE(oram.totalSplits(), 1u);
+    for (BlockId m = 0; m < 4; ++m) {
+        if (const StashEntry *e = oram.stashForAudit().find(m))
+            EXPECT_FALSE(e->pinned);
+    }
+}
+
+TEST(Retention, PinnedBlocksStillReadCorrectly)
+{
+    StaticSuperblockConfig c = cfg(64, 4);
+    c.base.payloadBytes = 8;
+    StaticSuperblockOram oram(c);
+    std::vector<std::uint8_t> data(8, 0x5A);
+    oram.writeBlock(0, data); // fetches + pins 1..3
+    std::vector<std::uint8_t> out;
+    oram.readBlock(1, out); // pinned sibling, zero-initialised
+    EXPECT_EQ(out, std::vector<std::uint8_t>(8, 0));
+    oram.readBlock(0, out);
+    EXPECT_EQ(out, data);
+}
+
+} // namespace
+} // namespace laoram::oram

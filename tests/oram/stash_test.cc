@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Stash container tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "oram/stash.hh"
+
+namespace laoram::oram {
+namespace {
+
+TEST(Stash, EmptyOnConstruction)
+{
+    Stash s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_EQ(s.find(1), nullptr);
+    EXPECT_FALSE(s.contains(1));
+}
+
+TEST(Stash, PutFindErase)
+{
+    Stash s;
+    s.put(7, 3, {1, 2, 3});
+    ASSERT_TRUE(s.contains(7));
+    StashEntry *e = s.find(7);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->leaf, 3u);
+    EXPECT_EQ(e->payload, (std::vector<std::uint8_t>{1, 2, 3}));
+    s.erase(7);
+    EXPECT_FALSE(s.contains(7));
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(Stash, PutOverwrites)
+{
+    Stash s;
+    s.put(1, 2, {9});
+    s.put(1, 5, {8, 8});
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.find(1)->leaf, 5u);
+    EXPECT_EQ(s.find(1)->payload.size(), 2u);
+}
+
+TEST(Stash, PayloadLessPutKeepsExistingPayload)
+{
+    Stash s;
+    s.put(1, 2, {7, 7});
+    s.put(1, 9); // leaf-only update
+    EXPECT_EQ(s.find(1)->leaf, 9u);
+    EXPECT_EQ(s.find(1)->payload, (std::vector<std::uint8_t>{7, 7}));
+}
+
+TEST(Stash, IterationCoversAll)
+{
+    Stash s;
+    for (BlockId id = 0; id < 10; ++id)
+        s.put(id, id * 2);
+    std::uint64_t seen = 0;
+    for (const auto &[id, entry] : s) {
+        EXPECT_EQ(entry.leaf, id * 2);
+        ++seen;
+    }
+    EXPECT_EQ(seen, 10u);
+}
+
+TEST(Stash, MutableLeafViaIteration)
+{
+    Stash s;
+    s.put(1, 0);
+    for (auto &[id, entry] : s)
+        entry.leaf = 42;
+    EXPECT_EQ(s.find(1)->leaf, 42u);
+}
+
+TEST(Stash, ResidentBytesScalesWithSize)
+{
+    Stash s;
+    EXPECT_EQ(s.residentBytes(100), 0u);
+    s.put(1, 0);
+    s.put(2, 0);
+    EXPECT_EQ(s.residentBytes(100), 2 * (8 + 8 + 100));
+}
+
+} // namespace
+} // namespace laoram::oram

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Multi-table flattening + multi-table DLRM trace tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "core/laoram_client.hh"
+#include "train/table_set.hh"
+#include "workload/dlrm_multi.hh"
+
+namespace laoram::train {
+namespace {
+
+TEST(TableSet, FlattenUnflattenRoundTrip)
+{
+    TableSet ts({100, 50, 7});
+    EXPECT_EQ(ts.numTables(), 3u);
+    EXPECT_EQ(ts.totalBlocks(), 157u);
+    for (std::uint64_t tab = 0; tab < 3; ++tab) {
+        for (std::uint64_t row = 0; row < ts.tableRows(tab);
+             row += 3) {
+            const auto flat = ts.flatten(tab, row);
+            ASSERT_LT(flat, ts.totalBlocks());
+            const auto [t2, r2] = ts.unflatten(flat);
+            EXPECT_EQ(t2, tab);
+            EXPECT_EQ(r2, row);
+        }
+    }
+}
+
+TEST(TableSet, FlatIdsAreDisjointAcrossTables)
+{
+    TableSet ts({10, 10, 10});
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t tab = 0; tab < 3; ++tab)
+        for (std::uint64_t row = 0; row < 10; ++row)
+            EXPECT_TRUE(seen.insert(ts.flatten(tab, row)).second);
+    EXPECT_EQ(seen.size(), 30u);
+}
+
+TEST(TableSet, BoundaryBlocks)
+{
+    TableSet ts({4, 4});
+    EXPECT_EQ(ts.unflatten(3),
+              (std::pair<std::uint64_t, std::uint64_t>{0, 3}));
+    EXPECT_EQ(ts.unflatten(4),
+              (std::pair<std::uint64_t, std::uint64_t>{1, 0}));
+    EXPECT_DEATH(ts.unflatten(8), "out of range");
+    EXPECT_DEATH(ts.flatten(0, 4), "out of range");
+    EXPECT_DEATH(ts.flatten(2, 0), "out of range");
+}
+
+TEST(TableSet, CriteoLikeShape)
+{
+    const TableSet ts = TableSet::criteoLike(1 << 16);
+    EXPECT_EQ(ts.numTables(), 26u);
+    EXPECT_EQ(ts.tableRows(0), 1u << 16);
+    // Dominant table holds most of the rows, like Criteo.
+    EXPECT_GT(static_cast<double>(ts.tableRows(0))
+                  / static_cast<double>(ts.totalBlocks()),
+              0.4);
+    for (std::uint64_t t = 1; t < ts.numTables(); ++t)
+        EXPECT_LE(ts.tableRows(t), ts.tableRows(0));
+}
+
+TEST(DlrmMulti, OneLookupPerTablePerSample)
+{
+    const TableSet ts = TableSet::criteoLike(4096);
+    workload::DlrmMultiParams p;
+    p.samples = 100;
+    const auto trace = workload::makeDlrmMultiTrace(ts, p);
+    ASSERT_EQ(trace.size(), 100 * ts.numTables());
+    EXPECT_EQ(trace.numBlocks, ts.totalBlocks());
+
+    // Sample s's accesses hit table 0, 1, ..., 25 in order.
+    for (std::uint64_t s = 0; s < 100; ++s) {
+        for (std::uint64_t tab = 0; tab < ts.numTables(); ++tab) {
+            const auto block =
+                trace.accesses[s * ts.numTables() + tab];
+            EXPECT_EQ(ts.unflatten(block).first, tab);
+        }
+    }
+}
+
+TEST(DlrmMulti, PerTableSkewPresent)
+{
+    const TableSet ts = TableSet::criteoLike(1 << 14);
+    workload::DlrmMultiParams p;
+    p.samples = 4000;
+    p.skew = 1.2;
+    const auto trace = workload::makeDlrmMultiTrace(ts, p);
+    // Table 0's accesses should concentrate on a hot subset.
+    std::unordered_map<std::uint64_t, int> freq;
+    for (auto block : trace.accesses) {
+        const auto [tab, row] = ts.unflatten(block);
+        if (tab == 0)
+            ++freq[row];
+    }
+    int hot = 0;
+    for (const auto &[row, n] : freq)
+        hot += (n >= 10) ? n : 0;
+    EXPECT_GT(hot, 400) << "expected a reused head in the big table";
+}
+
+TEST(DlrmMulti, TrainsThroughLaoram)
+{
+    // End-to-end: all 26 tables behind one LAORAM; every row touch
+    // lands in the right table.
+    const TableSet ts = TableSet::criteoLike(2048);
+    workload::DlrmMultiParams p;
+    p.samples = 200;
+    const auto trace = workload::makeDlrmMultiTrace(ts, p);
+
+    core::LaoramConfig cfg;
+    cfg.base.numBlocks = ts.totalBlocks();
+    cfg.base.blockBytes = 128;
+    cfg.base.seed = 5;
+    cfg.superblockSize = 4;
+    core::Laoram oram(cfg);
+
+    std::vector<std::uint64_t> touches_per_table(ts.numTables(), 0);
+    oram.setTouchCallback(
+        [&](oram::BlockId id, std::vector<std::uint8_t> &) {
+            ++touches_per_table[ts.unflatten(id).first];
+        });
+    oram.runTrace(trace.accesses);
+
+    for (std::uint64_t tab = 0; tab < ts.numTables(); ++tab)
+        EXPECT_GT(touches_per_table[tab], 0u) << "table " << tab;
+    EXPECT_EQ(oram.meter().counters().logicalAccesses, trace.size());
+}
+
+} // namespace
+} // namespace laoram::train

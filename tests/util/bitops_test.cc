@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for util/bitops.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+
+namespace laoram {
+namespace {
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ULL << 40));
+    EXPECT_FALSE(isPow2((1ULL << 40) + 1));
+    EXPECT_TRUE(isPow2(1ULL << 63));
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~0ULL), 63u);
+}
+
+TEST(Bitops, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1ULL << 33), 33u);
+    EXPECT_EQ(ceilLog2((1ULL << 33) + 1), 34u);
+}
+
+TEST(Bitops, CeilPow2)
+{
+    EXPECT_EQ(ceilPow2(1), 1u);
+    EXPECT_EQ(ceilPow2(3), 4u);
+    EXPECT_EQ(ceilPow2(4), 4u);
+    EXPECT_EQ(ceilPow2(1000), 1024u);
+}
+
+TEST(Bitops, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(8, 4), 2u);
+}
+
+TEST(Bitops, RoundTripPow2Log2)
+{
+    for (unsigned shift = 0; shift < 63; ++shift) {
+        const std::uint64_t v = std::uint64_t{1} << shift;
+        EXPECT_EQ(floorLog2(v), shift);
+        EXPECT_EQ(ceilLog2(v), shift);
+        EXPECT_EQ(ceilPow2(v), v);
+    }
+}
+
+} // namespace
+} // namespace laoram

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the CLI argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hh"
+
+namespace laoram {
+namespace {
+
+TEST(ArgParser, DefaultsSurviveEmptyArgs)
+{
+    ArgParser p("prog", "test");
+    auto n = p.addUint("n", "count", 42);
+    auto s = p.addString("name", "label", "hello");
+    auto f = p.addFlag("fast", "go fast");
+    EXPECT_TRUE(p.parseVector({}));
+    EXPECT_EQ(*n, 42u);
+    EXPECT_EQ(*s, "hello");
+    EXPECT_FALSE(*f);
+}
+
+TEST(ArgParser, EqualsSyntax)
+{
+    ArgParser p("prog", "test");
+    auto n = p.addUint("n", "count", 0);
+    auto d = p.addDouble("ratio", "r", 0.0);
+    EXPECT_TRUE(p.parseVector({"--n=123", "--ratio=2.5"}));
+    EXPECT_EQ(*n, 123u);
+    EXPECT_DOUBLE_EQ(*d, 2.5);
+}
+
+TEST(ArgParser, SpaceSyntax)
+{
+    ArgParser p("prog", "test");
+    auto n = p.addUint("n", "count", 0);
+    auto s = p.addString("mode", "m", "");
+    EXPECT_TRUE(p.parseVector({"--n", "7", "--mode", "fat"}));
+    EXPECT_EQ(*n, 7u);
+    EXPECT_EQ(*s, "fat");
+}
+
+TEST(ArgParser, FlagPresence)
+{
+    ArgParser p("prog", "test");
+    auto f = p.addFlag("full", "paper scale");
+    EXPECT_TRUE(p.parseVector({"--full"}));
+    EXPECT_TRUE(*f);
+}
+
+TEST(ArgParser, UnknownOptionFails)
+{
+    ArgParser p("prog", "test");
+    std::string err;
+    EXPECT_FALSE(p.parseVector({"--bogus=1"}, &err));
+    EXPECT_NE(err.find("bogus"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails)
+{
+    ArgParser p("prog", "test");
+    p.addUint("n", "count", 0);
+    std::string err;
+    EXPECT_FALSE(p.parseVector({"--n"}, &err));
+    EXPECT_NE(err.find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParser, BadNumberFails)
+{
+    ArgParser p("prog", "test");
+    p.addUint("n", "count", 0);
+    std::string err;
+    EXPECT_FALSE(p.parseVector({"--n=notanumber"}, &err));
+    EXPECT_NE(err.find("bad value"), std::string::npos);
+}
+
+TEST(ArgParser, FlagRejectsValue)
+{
+    ArgParser p("prog", "test");
+    p.addFlag("fast", "f");
+    std::string err;
+    EXPECT_FALSE(p.parseVector({"--fast=yes"}, &err));
+}
+
+TEST(ArgParser, PositionalRejected)
+{
+    ArgParser p("prog", "test");
+    std::string err;
+    EXPECT_FALSE(p.parseVector({"stray"}, &err));
+}
+
+TEST(ArgParser, UsageMentionsOptionsAndDefaults)
+{
+    ArgParser p("prog", "does things");
+    p.addUint("n", "the count", 5);
+    p.addFlag("full", "paper scale");
+    const std::string u = p.usage();
+    EXPECT_NE(u.find("--n"), std::string::npos);
+    EXPECT_NE(u.find("the count"), std::string::npos);
+    EXPECT_NE(u.find("default: 5"), std::string::npos);
+    EXPECT_NE(u.find("--full"), std::string::npos);
+    EXPECT_NE(u.find("--help"), std::string::npos);
+}
+
+} // namespace
+} // namespace laoram

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit + property tests for the deterministic RNG suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace laoram {
+namespace {
+
+TEST(SplitMix64, KnownSequence)
+{
+    // Reference values from the public-domain splitmix64.c with
+    // initial state 0 (state is pre-incremented by the golden gamma).
+    std::uint64_t state = 0;
+    EXPECT_EQ(splitMix64(state), 0xE220A8397B1DCDAFULL);
+    EXPECT_EQ(splitMix64(state), 0x6E789E6AA1B965F4ULL);
+    EXPECT_EQ(splitMix64(state), 0x06C45D188009454FULL);
+}
+
+TEST(Rng, DeterministicBySeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c;
+    }
+    Rng d(42), e(43);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (d.next() == e.next());
+    EXPECT_LT(same, 3) << "different seeds should diverge";
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL,
+                                (1ULL << 33) + 7}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 5000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    // Coarse chi-square over 16 cells; threshold is generous (df=15,
+    // p=0.001 cutoff is ~37.7).
+    Rng rng(17);
+    constexpr int kCells = 16;
+    constexpr int kSamples = 160000;
+    std::vector<int> hist(kCells, 0);
+    for (int i = 0; i < kSamples; ++i)
+        ++hist[rng.nextBounded(kCells)];
+    const double expected = double(kSamples) / kCells;
+    double chi2 = 0;
+    for (int c : hist)
+        chi2 += (c - expected) * (c - expected) / expected;
+    EXPECT_LT(chi2, 45.0) << "bounded sampling badly non-uniform";
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(19);
+    constexpr int kSamples = 200000;
+    double sum = 0, sumsq = 0;
+    for (int i = 0; i < kSamples; ++i) {
+        const double v = rng.nextGaussian();
+        sum += v;
+        sumsq += v * v;
+    }
+    const double mean = sum / kSamples;
+    const double var = sumsq / kSamples - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(23);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    rng.shuffle(v);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SplitDecorrelates)
+{
+    Rng parent(29);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (parent.next() == child.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Zipf, RanksInRange)
+{
+    Rng rng(31);
+    ZipfSampler zipf(1000, 1.0);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(zipf(rng), 1000u);
+}
+
+TEST(Zipf, LowRanksDominate)
+{
+    Rng rng(37);
+    ZipfSampler zipf(10000, 1.0);
+    std::map<std::uint64_t, int> freq;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i)
+        ++freq[zipf(rng)];
+    // Rank 0 should be the most frequent, and the top-10 ranks should
+    // hold a large share (harmonic: ~29% for n=1e4, s=1).
+    int top10 = 0;
+    for (std::uint64_t r = 0; r < 10; ++r)
+        top10 += freq.count(r) ? freq[r] : 0;
+    EXPECT_GT(freq[0], freq.count(100) ? freq[100] : 0);
+    EXPECT_GT(double(top10) / kSamples, 0.20);
+    EXPECT_LT(double(top10) / kSamples, 0.45);
+}
+
+TEST(Zipf, SkewSharpensHead)
+{
+    Rng rng1(41), rng2(41);
+    ZipfSampler mild(10000, 0.8), sharp(10000, 1.4);
+    constexpr int kSamples = 30000;
+    int mild0 = 0, sharp0 = 0;
+    for (int i = 0; i < kSamples; ++i) {
+        mild0 += (mild(rng1) == 0);
+        sharp0 += (sharp(rng2) == 0);
+    }
+    EXPECT_GT(sharp0, mild0);
+}
+
+TEST(Zipf, SingleItem)
+{
+    Rng rng(43);
+    ZipfSampler zipf(1, 1.2);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(GaussianIndex, StaysInRange)
+{
+    Rng rng(47);
+    GaussianIndexSampler g(1000);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(g(rng), 1000u);
+}
+
+TEST(GaussianIndex, DefaultsCenterAndSpread)
+{
+    Rng rng(53);
+    GaussianIndexSampler g(100000);
+    EXPECT_DOUBLE_EQ(g.mean(), 50000.0);
+    EXPECT_DOUBLE_EQ(g.stddev(), 12500.0);
+    double sum = 0;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i)
+        sum += static_cast<double>(g(rng));
+    EXPECT_NEAR(sum / kSamples, 50000.0, 300.0);
+}
+
+TEST(GaussianIndex, CustomMeanRespected)
+{
+    Rng rng(59);
+    GaussianIndexSampler g(100000, 10000.0, 500.0);
+    double sum = 0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i)
+        sum += static_cast<double>(g(rng));
+    EXPECT_NEAR(sum / kSamples, 10000.0, 100.0);
+}
+
+/** Property sweep: bounded uniformity across many bounds. */
+class RngBoundsTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngBoundsTest, MeanNearHalfBound)
+{
+    const std::uint64_t bound = GetParam();
+    Rng rng(61 + bound);
+    constexpr int kSamples = 40000;
+    double sum = 0;
+    for (int i = 0; i < kSamples; ++i)
+        sum += static_cast<double>(rng.nextBounded(bound));
+    const double mean = sum / kSamples;
+    const double expect = (static_cast<double>(bound) - 1.0) / 2.0;
+    const double sigma = static_cast<double>(bound)
+        / std::sqrt(12.0 * kSamples);
+    EXPECT_NEAR(mean, expect, 6.0 * sigma + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundsTest,
+                         ::testing::Values(2, 3, 7, 100, 1024, 100000,
+                                           1ULL << 31));
+
+} // namespace
+} // namespace laoram

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the stats package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/stats.hh"
+
+namespace laoram {
+namespace {
+
+TEST(Counter, StartsAtZeroAndCounts)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, EmptyIsAllZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.minimum(), 0.0);
+    EXPECT_DOUBLE_EQ(a.maximum(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.sample(v);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 4.0); // classic textbook set
+    EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(a.minimum(), 2.0);
+    EXPECT_DOUBLE_EQ(a.maximum(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator a;
+    a.sample(-3.5);
+    EXPECT_DOUBLE_EQ(a.mean(), -3.5);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.minimum(), -3.5);
+    EXPECT_DOUBLE_EQ(a.maximum(), -3.5);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator a;
+    a.sample(1.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndBounds)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.buckets(), 5u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(4), 8.0);
+    h.sample(0.0);
+    h.sample(1.99);
+    h.sample(2.0);
+    h.sample(9.99);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.sample(-0.1);
+    h.sample(1.0);
+    h.sample(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, QuantileOnUniformFill)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+    EXPECT_NEAR(h.quantile(1.0), 100.0, 1.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.sample(0.5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+}
+
+TEST(StatRegistry, CounterRegistrationAndLookup)
+{
+    StatRegistry reg;
+    Counter &c = reg.counter("oram.pathReads", "paths fetched");
+    ++c;
+    ++c;
+    EXPECT_EQ(reg.counterAt("oram.pathReads").value(), 2u);
+    EXPECT_TRUE(reg.hasCounter("oram.pathReads"));
+    EXPECT_FALSE(reg.hasCounter("oram.bogus"));
+    // Re-registration returns the same counter.
+    Counter &again = reg.counter("oram.pathReads");
+    ++again;
+    EXPECT_EQ(reg.counterAt("oram.pathReads").value(), 3u);
+}
+
+TEST(StatRegistry, FormulaEvaluates)
+{
+    StatRegistry reg;
+    Counter &a = reg.counter("a");
+    Counter &b = reg.counter("b");
+    a += 10;
+    b += 4;
+    reg.formula("ratio", "a per b", [&] {
+        return static_cast<double>(a.value())
+            / static_cast<double>(b.value());
+    });
+    EXPECT_DOUBLE_EQ(reg.formulaAt("ratio"), 2.5);
+}
+
+TEST(StatRegistry, DumpContainsEntries)
+{
+    StatRegistry reg;
+    reg.counter("hits", "cache hits") += 7;
+    reg.accumulator("lat", "latency").sample(3.0);
+    reg.formula("two", "", [] { return 2.0; });
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("hits"), std::string::npos);
+    EXPECT_NE(out.find("lat.mean"), std::string::npos);
+    EXPECT_NE(out.find("two"), std::string::npos);
+    EXPECT_NE(out.find("cache hits"), std::string::npos);
+}
+
+TEST(StatRegistry, CsvDump)
+{
+    StatRegistry reg;
+    reg.counter("x") += 1;
+    std::ostringstream os;
+    reg.dumpCsv(os);
+    EXPECT_NE(os.str().find("stat,value"), std::string::npos);
+    EXPECT_NE(os.str().find("x,1"), std::string::npos);
+}
+
+TEST(StatRegistry, ResetAllZeroesCounters)
+{
+    StatRegistry reg;
+    reg.counter("n") += 5;
+    reg.accumulator("acc").sample(2.0);
+    reg.resetAll();
+    EXPECT_EQ(reg.counterAt("n").value(), 0u);
+}
+
+} // namespace
+} // namespace laoram

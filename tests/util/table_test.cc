@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the text-table / CSV emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace laoram {
+namespace {
+
+TEST(TextTable, BasicLayout)
+{
+    TextTable t({"config", "speedup"});
+    t.addRow({"PathORAM", "1.00"});
+    t.addRow({"Fat/S4", "1.85"});
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.columns(), 2u);
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("config"), std::string::npos);
+    EXPECT_NE(out.find("PathORAM"), std::string::npos);
+    EXPECT_NE(out.find("Fat/S4"), std::string::npos);
+    // Header separator rule present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, NumericCells)
+{
+    EXPECT_EQ(TextTable::cell(1.234, 2), "1.23");
+    EXPECT_EQ(TextTable::cell(1.235, 1), "1.2");
+    EXPECT_EQ(TextTable::cell(std::uint64_t{42}), "42");
+}
+
+TEST(TextTable, BytesCells)
+{
+    EXPECT_EQ(TextTable::bytesCell(512), "512.0 B");
+    EXPECT_EQ(TextTable::bytesCell(1024), "1.00 KiB");
+    EXPECT_EQ(TextTable::bytesCell(8ULL << 30), "8.00 GiB");
+    EXPECT_EQ(TextTable::bytesCell(1536), "1.50 KiB");
+}
+
+TEST(TextTable, ColumnsAreAligned)
+{
+    TextTable t({"x", "yyyyyyyy"});
+    t.addRow({"looooong", "1"});
+    std::ostringstream os;
+    t.print(os);
+    // Both rows should have the same line length after padding.
+    std::istringstream is(os.str());
+    std::string header, rule, row;
+    std::getline(is, header);
+    std::getline(is, rule);
+    std::getline(is, row);
+    // Trailing spaces may differ; compare the column-start offsets by
+    // finding the second column text positions.
+    EXPECT_EQ(header.find("yyyyyyyy"), row.find("1"));
+}
+
+} // namespace
+} // namespace laoram

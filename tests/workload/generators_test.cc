@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Workload-generator tests: each synthetic dataset must exhibit the
+ * structural property the paper relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workload/gaussian_gen.hh"
+#include "workload/generator.hh"
+#include "workload/kaggle_synth.hh"
+#include "workload/permutation_gen.hh"
+#include "workload/xnli_synth.hh"
+#include "workload/zipf_gen.hh"
+
+namespace laoram::workload {
+namespace {
+
+TEST(PermutationGen, FirstEpochCoversAllExactlyOnce)
+{
+    PermutationParams p;
+    p.numBlocks = 1000;
+    p.accesses = 1000;
+    p.seed = 1;
+    const Trace t = makePermutationTrace(p);
+    ASSERT_EQ(t.size(), 1000u);
+    std::set<BlockId> seen(t.accesses.begin(), t.accesses.end());
+    EXPECT_EQ(seen.size(), 1000u) << "epoch must be a permutation";
+    EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+TEST(PermutationGen, NoRepeatWithinEpochAcrossEpochs)
+{
+    PermutationParams p;
+    p.numBlocks = 64;
+    p.accesses = 64 * 3;
+    p.seed = 2;
+    const Trace t = makePermutationTrace(p);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+        std::set<BlockId> seen;
+        for (int i = 0; i < 64; ++i)
+            EXPECT_TRUE(seen.insert(t.accesses[epoch * 64 + i]).second);
+    }
+}
+
+TEST(PermutationGen, EpochsDiffer)
+{
+    PermutationParams p;
+    p.numBlocks = 256;
+    p.accesses = 512;
+    p.seed = 3;
+    const Trace t = makePermutationTrace(p);
+    bool any_diff = false;
+    for (int i = 0; i < 256; ++i)
+        any_diff |= (t.accesses[i] != t.accesses[256 + i]);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(PermutationGen, PartialEpochTail)
+{
+    PermutationParams p;
+    p.numBlocks = 100;
+    p.accesses = 150;
+    const Trace t = makePermutationTrace(p);
+    EXPECT_EQ(t.size(), 150u);
+    std::set<BlockId> tail(t.accesses.begin() + 100,
+                           t.accesses.end());
+    EXPECT_EQ(tail.size(), 50u) << "tail is a prefix of a permutation";
+}
+
+TEST(GaussianGen, InRangeAndCentered)
+{
+    GaussianParams p;
+    p.numBlocks = 100000;
+    p.accesses = 50000;
+    p.seed = 4;
+    const Trace t = makeGaussianTrace(p);
+    double sum = 0;
+    for (BlockId id : t.accesses) {
+        ASSERT_LT(id, p.numBlocks);
+        sum += static_cast<double>(id);
+    }
+    EXPECT_NEAR(sum / static_cast<double>(t.size()), 50000.0, 500.0);
+}
+
+TEST(GaussianGen, HasDuplicates)
+{
+    GaussianParams p;
+    p.numBlocks = 10000;
+    p.accesses = 20000;
+    const Trace t = makeGaussianTrace(p);
+    EXPECT_LT(t.uniqueCount(), t.size());
+}
+
+TEST(ZipfGen, ScatterRankIsBijection)
+{
+    for (std::uint64_t n : {16ULL, 100ULL, 262144ULL, 10131227ULL}) {
+        std::unordered_set<BlockId> seen;
+        // Sample the first 1000 ranks; all images must be distinct.
+        const std::uint64_t probe = std::min<std::uint64_t>(n, 1000);
+        for (std::uint64_t r = 0; r < probe; ++r) {
+            const BlockId id = scatterRank(r, n);
+            ASSERT_LT(id, n);
+            EXPECT_TRUE(seen.insert(id).second)
+                << "collision at rank " << r << " n=" << n;
+        }
+    }
+}
+
+TEST(ZipfGen, HeadIsHot)
+{
+    ZipfParams p;
+    p.numBlocks = 100000;
+    p.accesses = 50000;
+    p.skew = 1.0;
+    p.scatterRanks = false;
+    const Trace t = makeZipfTrace(p);
+    std::unordered_map<BlockId, int> freq;
+    for (BlockId id : t.accesses)
+        ++freq[id];
+    EXPECT_GT(freq[0], 500); // rank 0 ~ 8% of harmonic mass
+    EXPECT_GT(t.hotMass(10), 0.15);
+}
+
+TEST(KaggleSynth, MatchesFigure2Structure)
+{
+    // Fig. 2: mostly uniform scatter + thin hot band. Check (a) high
+    // unique fraction, (b) hot mass concentrated in a tiny top set,
+    // (c) hot ids are low indices.
+    KaggleParams p;
+    p.numBlocks = 1 << 20;
+    p.accesses = 10000;
+    p.seed = 5;
+    const Trace t = makeKaggleTrace(p);
+
+    const double unique_frac = static_cast<double>(t.uniqueCount())
+        / static_cast<double>(t.size());
+    EXPECT_GT(unique_frac, 0.75) << "most accesses should be cold";
+
+    // Band mass: accesses landing inside the hot index band should
+    // track hotProbability (plus a negligible uniform contribution).
+    std::uint64_t in_band = 0;
+    for (BlockId id : t.accesses)
+        in_band += (id < p.hotSetSize);
+    const double band_mass = static_cast<double>(in_band)
+        / static_cast<double>(t.size());
+    EXPECT_GT(band_mass, 0.10);
+    EXPECT_LT(band_mass, 0.22);
+
+    // And the head of the band is strongly reused (Zipf inside).
+    EXPECT_GT(t.hotMass(64), 0.05);
+
+    // The repeated ids live in the low-index band.
+    std::unordered_map<BlockId, int> freq;
+    for (BlockId id : t.accesses)
+        ++freq[id];
+    for (const auto &[id, n] : freq) {
+        if (n >= 5) {
+            EXPECT_LT(id, p.hotSetSize) << "hot id outside band";
+        }
+    }
+}
+
+TEST(KaggleSynth, RespectsTableSize)
+{
+    KaggleParams p;
+    p.numBlocks = 12345;
+    p.accesses = 5000;
+    const Trace t = makeKaggleTrace(p);
+    for (BlockId id : t.accesses)
+        ASSERT_LT(id, p.numBlocks);
+}
+
+TEST(XnliSynth, HeavyDuplicates)
+{
+    // Zipfian token streams re-use tokens constantly (paper: XNLI has
+    // near-zero dummy reads because repeats relieve the stash).
+    XnliParams p;
+    p.vocabSize = 262144;
+    p.accesses = 50000;
+    const Trace t = makeXnliTrace(p);
+    const double unique_frac = static_cast<double>(t.uniqueCount())
+        / static_cast<double>(t.size());
+    EXPECT_LT(unique_frac, 0.5);
+    EXPECT_EQ(t.numBlocks, 262144u);
+    EXPECT_EQ(t.name, "xnli");
+}
+
+TEST(XnliSynth, HotTokensScatteredOverIdSpace)
+{
+    XnliParams p;
+    p.vocabSize = 262144;
+    p.accesses = 30000;
+    const Trace t = makeXnliTrace(p);
+    std::unordered_map<BlockId, int> freq;
+    for (BlockId id : t.accesses)
+        ++freq[id];
+    // The most frequent id should NOT be id 0 (ranks are scattered).
+    BlockId hottest = 0;
+    int best = -1;
+    for (const auto &[id, n] : freq) {
+        if (n > best) {
+            best = n;
+            hottest = id;
+        }
+    }
+    EXPECT_NE(hottest, 0u);
+}
+
+TEST(GeneratorFactory, NamesRoundTrip)
+{
+    for (auto kind : {DatasetKind::Permutation, DatasetKind::Gaussian,
+                      DatasetKind::Kaggle, DatasetKind::Xnli}) {
+        EXPECT_EQ(datasetFromName(datasetName(kind)), kind);
+    }
+}
+
+TEST(GeneratorFactory, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(datasetFromName("bogus"), "unknown dataset");
+}
+
+TEST(GeneratorFactory, PaperScalesMatchTableOne)
+{
+    EXPECT_EQ(paperNumBlocks(DatasetKind::Kaggle), 10131227u);
+    EXPECT_EQ(paperBlockBytes(DatasetKind::Kaggle), 128u);
+    EXPECT_EQ(paperNumBlocks(DatasetKind::Xnli), 262144u);
+    EXPECT_EQ(paperBlockBytes(DatasetKind::Xnli), 4096u);
+    EXPECT_EQ(paperNumBlocks(DatasetKind::Permutation), 8ULL << 20);
+}
+
+TEST(GeneratorFactory, ProducesRequestedShape)
+{
+    for (auto kind : {DatasetKind::Permutation, DatasetKind::Gaussian,
+                      DatasetKind::Kaggle, DatasetKind::Xnli}) {
+        const Trace t = makeTrace(kind, 4096, 1000, 7);
+        EXPECT_EQ(t.size(), 1000u) << datasetName(kind);
+        EXPECT_EQ(t.numBlocks, 4096u);
+        for (BlockId id : t.accesses)
+            ASSERT_LT(id, 4096u);
+    }
+}
+
+TEST(GeneratorFactory, DeterministicBySeed)
+{
+    const Trace a = makeTrace(DatasetKind::Kaggle, 1 << 16, 500, 11);
+    const Trace b = makeTrace(DatasetKind::Kaggle, 1 << 16, 500, 11);
+    const Trace c = makeTrace(DatasetKind::Kaggle, 1 << 16, 500, 12);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_NE(a.accesses, c.accesses);
+}
+
+} // namespace
+} // namespace laoram::workload

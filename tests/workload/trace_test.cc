@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace container + serialisation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/trace.hh"
+
+namespace laoram::workload {
+namespace {
+
+TEST(Trace, UniqueCount)
+{
+    Trace t;
+    t.numBlocks = 10;
+    t.accesses = {1, 2, 2, 3, 1};
+    EXPECT_EQ(t.uniqueCount(), 3u);
+}
+
+TEST(Trace, HotMass)
+{
+    Trace t;
+    t.numBlocks = 10;
+    // id 5 appears 6x, id 1 3x, id 2 1x.
+    t.accesses = {5, 5, 5, 5, 5, 5, 1, 1, 1, 2};
+    EXPECT_DOUBLE_EQ(t.hotMass(1), 0.6);
+    EXPECT_DOUBLE_EQ(t.hotMass(2), 0.9);
+    EXPECT_DOUBLE_EQ(t.hotMass(100), 1.0);
+    EXPECT_DOUBLE_EQ(t.hotMass(0), 0.0);
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    Trace t;
+    t.name = "unittest";
+    t.numBlocks = 1000;
+    for (int i = 0; i < 100; ++i)
+        t.accesses.push_back((i * 37) % 1000);
+
+    std::stringstream ss;
+    t.save(ss);
+    const Trace back = Trace::load(ss);
+    EXPECT_EQ(back.name, "unittest");
+    EXPECT_EQ(back.numBlocks, 1000u);
+    EXPECT_EQ(back.accesses, t.accesses);
+}
+
+TEST(Trace, EmptyRoundTrip)
+{
+    Trace t;
+    t.name = "empty";
+    t.numBlocks = 5;
+    std::stringstream ss;
+    t.save(ss);
+    const Trace back = Trace::load(ss);
+    EXPECT_TRUE(back.accesses.empty());
+}
+
+TEST(Trace, LoadRejectsBadMagic)
+{
+    std::stringstream ss("not-a-trace 1 x 10 0\n");
+    EXPECT_DEATH(Trace::load(ss), "not a laoram-trace");
+}
+
+TEST(Trace, LoadRejectsOutOfRangeIds)
+{
+    std::stringstream ss("laoram-trace 1 bad 10 2\n3 99\n");
+    EXPECT_DEATH(Trace::load(ss), "out of range");
+}
+
+TEST(Trace, LoadRejectsTruncation)
+{
+    std::stringstream ss("laoram-trace 1 short 10 5\n1 2\n");
+    EXPECT_DEATH(Trace::load(ss), "truncated");
+}
+
+} // namespace
+} // namespace laoram::workload
