@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/harness.hh"
+#include "core/pipeline.hh"
 #include "oram/path_oram.hh"
 #include "oram/ring_oram.hh"
 #include "util/rng.hh"
@@ -18,15 +19,7 @@ using namespace laoram;
 
 namespace {
 
-std::vector<oram::BlockId>
-randomTrace(std::uint64_t blocks, std::uint64_t n, std::uint64_t seed)
-{
-    Rng rng(seed);
-    std::vector<oram::BlockId> t(n);
-    for (auto &id : t)
-        id = rng.nextBounded(blocks);
-    return t;
-}
+using bench::randomTrace;
 
 void
 BM_PathOramAccess(benchmark::State &state)
@@ -101,11 +94,40 @@ BM_PreprocessorScan(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * trace.size());
 }
 
+void
+BM_PipelineTrace(benchmark::State &state)
+{
+    // Full two-stage pipeline over a fixed trace; range(0) selects
+    // the mode (0 = Simulated cost model, 1 = Concurrent threads), so
+    // the delta is the real thread + queue overhead per access.
+    const std::uint64_t blocks = 1 << 14;
+    const auto trace = randomTrace(blocks, 1 << 14, 8);
+    core::PipelineConfig pc;
+    pc.windowAccesses = 2048;
+    pc.mode = state.range(0) == 0 ? core::PipelineMode::Simulated
+                                  : core::PipelineMode::Concurrent;
+    for (auto _ : state) {
+        core::LaoramConfig cfg;
+        cfg.base.numBlocks = blocks;
+        cfg.base.blockBytes = 128;
+        cfg.base.seed = 9;
+        cfg.superblockSize = 4;
+        core::Laoram engine(cfg);
+        core::BatchPipeline pipe(engine, pc);
+        benchmark::DoNotOptimize(pipe.run(trace));
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+
 } // namespace
 
 BENCHMARK(BM_PathOramAccess)->Arg(12)->Arg(16)->Arg(18);
 BENCHMARK(BM_LaoramBinAccess)->Arg(12)->Arg(16)->Arg(18);
 BENCHMARK(BM_RingOramAccess)->Arg(12)->Arg(16);
 BENCHMARK(BM_PreprocessorScan)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_PipelineTrace)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -4,6 +4,7 @@
 
 #include "oram/path_oram.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace laoram::bench {
 
@@ -153,6 +154,17 @@ printHeader(const std::string &title, const std::string &detail)
               << detail << "\n"
               << "==============================================="
                  "=================\n";
+}
+
+std::vector<oram::BlockId>
+randomTrace(std::uint64_t numBlocks, std::uint64_t accesses,
+            std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<oram::BlockId> t(accesses);
+    for (auto &id : t)
+        id = rng.nextBounded(numBlocks);
+    return t;
 }
 
 } // namespace laoram::bench

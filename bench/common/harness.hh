@@ -99,6 +99,11 @@ workload::Trace makeEpochedTrace(workload::DatasetKind kind,
 /** Print a standard bench header line. */
 void printHeader(const std::string &title, const std::string &detail);
 
+/** Uniform random trace of @p accesses ids over [0, numBlocks). */
+std::vector<oram::BlockId> randomTrace(std::uint64_t numBlocks,
+                                       std::uint64_t accesses,
+                                       std::uint64_t seed);
+
 } // namespace laoram::bench
 
 #endif // LAORAM_BENCH_COMMON_HARNESS_HH

@@ -13,10 +13,12 @@
  * exactly what a bin is.
  */
 
+#include <algorithm>
 #include <iostream>
 #include <vector>
 
 #include "core/laoram_client.hh"
+#include "core/pipeline.hh"
 #include "oram/path_oram.hh"
 #include "train/table_set.hh"
 #include "util/cli.hh"
@@ -57,7 +59,10 @@ main(int argc, char **argv)
               << *samples << " samples x " << tables.numTables()
               << " tables x " << *epochs << " epochs)\n\n";
 
-    // LAORAM with S = 8: a 26-row sample spans ~3-4 bins.
+    // LAORAM with S = 8: a 26-row sample spans ~3-4 bins. All 26
+    // tables flow through ONE concurrent two-stage pipeline: the
+    // preprocessor thread bins upcoming samples (across every table)
+    // while the serving thread trains the current window.
     core::LaoramConfig lcfg;
     lcfg.base.numBlocks = tables.totalBlocks();
     lcfg.base.blockBytes = 128;
@@ -66,7 +71,24 @@ main(int argc, char **argv)
     lcfg.superblockSize = 8;
     lcfg.batchAccesses = tables.numTables() * 16; // 16-sample batches
     core::Laoram laoram(lcfg);
-    laoram.runTrace(trace);
+
+    core::PipelineConfig pcfg2;
+    pcfg2.windowAccesses =
+        std::max<std::uint64_t>(tables.numTables() * *samples / 4, 1);
+    core::BatchPipeline pipe(laoram, pcfg2);
+    const auto rep = pipe.run(trace);
+
+    const auto hist = tables.accessHistogram(trace);
+    const auto hottest =
+        std::max_element(hist.begin(), hist.end()) - hist.begin();
+    std::cout << "pipeline: " << rep.windows
+              << " windows, measured prep hidden "
+              << rep.measuredPrepHiddenFraction * 100.0
+              << "% (modeled " << rep.prepHiddenFraction * 100.0
+              << "%)\n"
+              << "per-table traffic: table " << hottest << " peaks at "
+              << hist[hottest] << " of " << trace.size()
+              << " accesses — indistinguishable on the wire\n";
 
     oram::EngineConfig pcfg = lcfg.base;
     pcfg.profile = oram::BucketProfile::uniform(4);

@@ -23,7 +23,7 @@ prepConfigFor(const LaoramConfig &cfg,
 Laoram::Laoram(const LaoramConfig &cfg)
     : TreeOramBase(cfg.base),
       lcfg(cfg),
-      prep(prepConfigFor(cfg, geom), cfg.base.seed ^ 0x1AA0)
+      prep(prepConfigFor(cfg, geom), cfg.base.seed ^ kPrepSeedSalt)
 {
     LAORAM_ASSERT(lcfg.superblockSize >= 1,
                   "superblock size must be >= 1");
@@ -71,35 +71,46 @@ Laoram::runTrace(const std::vector<BlockId> &trace)
          start += window) {
         const std::uint64_t stop =
             std::min<std::uint64_t>(start + window, trace.size());
-        const PreprocessResult res =
-            prep.run(trace.data() + start, trace.data() + stop);
-
-        nBins += res.bins.size();
-        nPreprocessed += res.totalAccesses;
-        nFutureLinked += res.futureLinked;
-
-        if (lcfg.batchAccesses == 0) {
-            for (const SuperblockBin &bin : res.bins)
-                accessBin(bin);
-            continue;
-        }
-
-        // Group consecutive bins into training batches by raw access
-        // count and serve each batch with one union read/write.
-        std::size_t first = 0;
-        std::uint64_t acc = 0;
-        for (std::size_t i = 0; i < res.bins.size(); ++i) {
-            acc += res.bins[i].rawAccesses;
-            if (acc >= lcfg.batchAccesses) {
-                accessBatch(res.bins.data() + first, i - first + 1);
-                first = i + 1;
-                acc = 0;
-            }
-        }
-        if (first < res.bins.size())
-            accessBatch(res.bins.data() + first,
-                        res.bins.size() - first);
+        serveWindow(prep.run(trace.data() + start,
+                             trace.data() + stop));
     }
+}
+
+void
+Laoram::runTrace(const std::vector<WindowSchedule> &schedules)
+{
+    for (const WindowSchedule &sched : schedules)
+        serveWindow(sched.result);
+}
+
+void
+Laoram::serveWindow(const PreprocessResult &window)
+{
+    nBins += window.bins.size();
+    nPreprocessed += window.totalAccesses;
+    nFutureLinked += window.futureLinked;
+
+    if (lcfg.batchAccesses == 0) {
+        for (const SuperblockBin &bin : window.bins)
+            accessBin(bin);
+        return;
+    }
+
+    // Group consecutive bins into training batches by raw access
+    // count and serve each batch with one union read/write.
+    std::size_t first = 0;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < window.bins.size(); ++i) {
+        acc += window.bins[i].rawAccesses;
+        if (acc >= lcfg.batchAccesses) {
+            accessBatch(window.bins.data() + first, i - first + 1);
+            first = i + 1;
+            acc = 0;
+        }
+    }
+    if (first < window.bins.size())
+        accessBatch(window.bins.data() + first,
+                    window.bins.size() - first);
 }
 
 void

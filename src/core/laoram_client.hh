@@ -82,6 +82,35 @@ class Laoram final : public oram::TreeOramBase
     void runTrace(const std::vector<BlockId> &trace) override;
 
     /**
+     * Serve pre-built window schedules (the output of
+     * Preprocessor::runWindow), in order. This is the serving stage of
+     * the two-stage pipeline: preprocessing already happened on
+     * another thread, so this call only performs stage-2 ORAM work.
+     */
+    void runTrace(const std::vector<WindowSchedule> &schedules);
+
+    /**
+     * Serve one preprocessed window: every bin (or training batch,
+     * when batchAccesses > 0) in stream order. Used both by the serial
+     * runTrace and by the concurrent pipeline's serving thread.
+     */
+    void serveWindow(const PreprocessResult &window);
+
+    /**
+     * The seed the engine derives its internal preprocessor from. A
+     * pipeline preprocessing on behalf of this engine must seed its
+     * own Preprocessor identically to reproduce the serial runTrace
+     * byte for byte.
+     */
+    std::uint64_t preprocessorSeed() const
+    {
+        return lcfg.base.seed ^ kPrepSeedSalt;
+    }
+
+    /** Salt folded into the engine seed for the preprocessor stream. */
+    static constexpr std::uint64_t kPrepSeedSalt = 0x1AA0;
+
+    /**
      * Serve one preprocessed bin: read the distinct current paths of
      * its members, touch every member, remap each to its future path,
      * write the fetched paths back, then background-evict.

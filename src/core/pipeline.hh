@@ -5,20 +5,41 @@
  * Stage 1 (preprocessor) scans the *next* look-ahead window while
  * stage 2 (trainer GPU + ORAM) serves the current one. The paper
  * reports that preprocessing is orders of magnitude cheaper than
- * training and therefore falls off the critical path; BatchPipeline
- * reproduces that claim quantitatively by simulating both stage costs
- * and computing the pipelined makespan.
+ * training and therefore falls off the critical path.
+ *
+ * Two modes reproduce that claim:
+ *
+ *  - Concurrent (default): a real preprocessor thread builds
+ *    WindowSchedules ahead of a serving thread, connected by a bounded
+ *    queue (backpressure = how far ahead preprocessing may run). The
+ *    report carries *measured* wall-clock overlap numbers.
+ *  - Simulated: the original analytic cost model — stage costs are
+ *    simulated and the pipelined makespan computed, so Fig.-style
+ *    benches stay exactly reproducible.
+ *
+ * Both modes serve windows in stream order through the same
+ * Laoram::serveWindow code path and draw preprocessing paths from the
+ * same seeded stream, so their ORAM-visible behaviour is identical to
+ * each other and to the serial Laoram::runTrace.
  */
 
 #ifndef LAORAM_CORE_PIPELINE_HH
 #define LAORAM_CORE_PIPELINE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "core/laoram_client.hh"
 
 namespace laoram::core {
+
+/** How BatchPipeline::run executes the two stages. */
+enum class PipelineMode
+{
+    Concurrent, ///< real threads + bounded queue, measured overlap
+    Simulated,  ///< analytic cost model only (no threads spawned)
+};
 
 /** Pipeline knobs. */
 struct PipelineConfig
@@ -28,15 +49,28 @@ struct PipelineConfig
 
     /**
      * Simulated preprocessing cost per scanned access (hash-set insert
-     * + path draw on a CPU thread; deliberately generous).
+     * + path draw on a CPU thread; deliberately generous). Feeds the
+     * modeled report fields in both modes.
      */
     double preprocessNsPerAccess = 25.0;
+
+    PipelineMode mode = PipelineMode::Concurrent;
+
+    /**
+     * Bounded-queue depth for Concurrent mode: how many prepared
+     * windows may wait between the stages. Depth 1 forces strict
+     * lock-step hand-off; larger depths absorb stage jitter at the
+     * cost of more prepared-schedule client memory.
+     */
+    std::size_t queueDepth = 4;
 };
 
 /** Result of a pipelined run. */
 struct PipelineReport
 {
     std::uint64_t windows = 0;
+
+    // ---- Modeled (analytic cost model; identical in both modes). ----
     double totalPrepNs = 0.0;     ///< stage-1 work, summed
     double totalAccessNs = 0.0;   ///< stage-2 (ORAM) work, summed
     double serialNs = 0.0;        ///< no overlap: prep + access
@@ -49,11 +83,33 @@ struct PipelineReport
      * critical training path".
      */
     double prepHiddenFraction = 0.0;
+
+    // ---- Measured (wall clock; Concurrent mode only, else zero). ----
+    double wallPrepNs = 0.0;   ///< stage-1 thread work, summed
+    double wallServeNs = 0.0;  ///< stage-2 thread work, summed
+    double wallTotalNs = 0.0;  ///< end-to-end run() wall time
+    double wallFillNs = 0.0;   ///< serve-thread wait for window 0
+    double wallStallNs = 0.0;  ///< serve-thread waits after the fill
+    /**
+     * Measured counterpart of prepHiddenFraction: of the wall-clock
+     * preprocessing time that *could* overlap serving (everything
+     * after the pipeline fill), the fraction that never stalled the
+     * serving thread. 1.0 means the serving thread ran back-to-back —
+     * preprocessing was entirely off the measured critical path.
+     */
+    double measuredPrepHiddenFraction = 0.0;
 };
 
 /**
  * Drives a Laoram engine window by window with overlapped
  * preprocessing, mirroring the paper's deployment.
+ *
+ * The pipeline owns its own Preprocessor, seeded exactly like the
+ * engine's internal one, so a pipelined run reproduces the serial
+ * engine.runTrace byte for byte (same bins, same paths, same
+ * traffic) — provided cfg.windowAccesses equals the engine's
+ * effective look-ahead window (lookaheadWindow, or the whole trace
+ * when that is 0), since window boundaries determine bin formation.
  */
 class BatchPipeline
 {
@@ -64,6 +120,14 @@ class BatchPipeline
     PipelineReport run(const std::vector<BlockId> &trace);
 
   private:
+    PipelineReport runConcurrent(const std::vector<BlockId> &trace);
+    PipelineReport runSimulated(const std::vector<BlockId> &trace);
+
+    /** Fill the modeled report fields from per-window stage costs. */
+    static void finishModeledReport(PipelineReport &rep,
+                                    const std::vector<double> &prepNs,
+                                    const std::vector<double> &accessNs);
+
     Laoram &engine;
     PipelineConfig cfg;
     Preprocessor prep;

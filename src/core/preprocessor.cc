@@ -25,6 +25,25 @@ Preprocessor::run(const std::vector<BlockId> &stream) const
 PreprocessResult
 Preprocessor::run(const BlockId *begin, const BlockId *end) const
 {
+    return preprocessWindow(cfg, begin, end, rng);
+}
+
+WindowSchedule
+Preprocessor::runWindow(std::uint64_t windowIndex,
+                        std::uint64_t traceOffset,
+                        const BlockId *begin, const BlockId *end) const
+{
+    WindowSchedule sched;
+    sched.windowIndex = windowIndex;
+    sched.traceOffset = traceOffset;
+    sched.result = preprocessWindow(cfg, begin, end, rng);
+    return sched;
+}
+
+PreprocessResult
+preprocessWindow(const PreprocessorConfig &cfg, const BlockId *begin,
+                 const BlockId *end, Rng &rng)
+{
     PreprocessResult res;
     res.totalAccesses = static_cast<std::uint64_t>(end - begin);
 

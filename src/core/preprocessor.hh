@@ -48,6 +48,29 @@ struct PreprocessResult
     std::uint64_t futureLinked = 0;   ///< members with a known next path
 };
 
+/**
+ * One fully preprocessed look-ahead window, ready to serve. Immutable
+ * after construction: the preprocessor thread builds it, hands it over
+ * the pipeline queue, and never touches it again — which is what makes
+ * the two-stage hand-off race-free by construction.
+ */
+struct WindowSchedule
+{
+    std::uint64_t windowIndex = 0; ///< position in the window stream
+    std::uint64_t traceOffset = 0; ///< first trace index of the window
+    PreprocessResult result;       ///< bins + path metadata
+};
+
+/**
+ * Pure preprocessing step: scan [begin, end) into superblock bins with
+ * future-path metadata. All state is passed explicitly (@p rng carries
+ * the path-draw stream), so concurrent calls with distinct Rng
+ * instances are thread-safe.
+ */
+PreprocessResult preprocessWindow(const PreprocessorConfig &cfg,
+                                  const BlockId *begin,
+                                  const BlockId *end, Rng &rng);
+
 /** Scans future access streams into superblock metadata. */
 class Preprocessor
 {
@@ -64,6 +87,16 @@ class Preprocessor
 
     /** Same, over a sub-range [begin, end) of a larger trace. */
     PreprocessResult run(const BlockId *begin, const BlockId *end) const;
+
+    /**
+     * Preprocess one window of a larger trace into an immutable
+     * schedule (advances this preprocessor's path-draw stream; calls
+     * on one Preprocessor instance must stay single-threaded).
+     */
+    WindowSchedule runWindow(std::uint64_t windowIndex,
+                             std::uint64_t traceOffset,
+                             const BlockId *begin,
+                             const BlockId *end) const;
 
     const PreprocessorConfig &config() const { return cfg; }
 

@@ -50,7 +50,10 @@ class Stash
     StashEntry &put(BlockId id, Leaf leaf);
 
     void erase(BlockId id);
-    bool contains(BlockId id) const { return entries.contains(id); }
+    bool contains(BlockId id) const
+    {
+        return entries.find(id) != entries.end();
+    }
 
     /** Clear every pin (used when stash pressure trumps retention). */
     void unpinAll();

@@ -20,14 +20,14 @@ EmbeddingTable::EmbeddingTable(std::uint64_t rows, std::uint64_t dim,
         v = scale * static_cast<float>(2.0 * rng.nextDouble() - 1.0);
 }
 
-std::span<float>
+Span<float>
 EmbeddingTable::row(std::uint64_t r)
 {
     LAORAM_ASSERT(r < nRows, "row ", r, " out of range");
     return {data.data() + r * nDim, nDim};
 }
 
-std::span<const float>
+Span<const float>
 EmbeddingTable::row(std::uint64_t r) const
 {
     LAORAM_ASSERT(r < nRows, "row ", r, " out of range");
@@ -55,7 +55,7 @@ EmbeddingTable::deserializeRow(std::uint64_t r,
 
 void
 EmbeddingTable::applyGradient(std::uint64_t r,
-                              std::span<const float> grad, float lr)
+                              Span<const float> grad, float lr)
 {
     LAORAM_ASSERT(grad.size() == nDim, "gradient dim mismatch");
     auto w = row(r);

@@ -13,7 +13,7 @@
 #define LAORAM_TRAIN_EMBEDDING_TABLE_HH
 
 #include <cstdint>
-#include <span>
+#include "util/span.hh"
 #include <vector>
 
 namespace laoram::train {
@@ -34,8 +34,8 @@ class EmbeddingTable
     std::uint64_t dim() const { return nDim; }
     std::uint64_t rowBytes() const { return nDim * sizeof(float); }
 
-    std::span<float> row(std::uint64_t r);
-    std::span<const float> row(std::uint64_t r) const;
+    Span<float> row(std::uint64_t r);
+    Span<const float> row(std::uint64_t r) const;
 
     /** Copy row @p r into a byte buffer (an ORAM payload). */
     void serializeRow(std::uint64_t r, std::vector<std::uint8_t> &out)
@@ -46,7 +46,7 @@ class EmbeddingTable
                         const std::vector<std::uint8_t> &in);
 
     /** In-place SGD step on row @p r: w -= lr * grad. */
-    void applyGradient(std::uint64_t r, std::span<const float> grad,
+    void applyGradient(std::uint64_t r, Span<const float> grad,
                        float lr);
 
     /** Squared L2 norm of row @p r (convergence diagnostics). */

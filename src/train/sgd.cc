@@ -13,8 +13,8 @@ SgdOptimizer::SgdOptimizer(float lr, float momentum)
 }
 
 void
-SgdOptimizer::step(std::uint64_t key, std::span<float> params,
-                   std::span<const float> grad)
+SgdOptimizer::step(std::uint64_t key, Span<float> params,
+                   Span<const float> grad)
 {
     LAORAM_ASSERT(params.size() == grad.size(),
                   "param/grad size mismatch");

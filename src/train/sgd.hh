@@ -7,7 +7,7 @@
 #define LAORAM_TRAIN_SGD_HH
 
 #include <cstdint>
-#include <span>
+#include "util/span.hh"
 #include <unordered_map>
 #include <vector>
 
@@ -34,8 +34,8 @@ class SgdOptimizer
      * @param params parameters, updated in place
      * @param grad   gradient, same length
      */
-    void step(std::uint64_t key, std::span<float> params,
-              std::span<const float> grad);
+    void step(std::uint64_t key, Span<float> params,
+              Span<const float> grad);
 
   private:
     float lr;

@@ -48,6 +48,25 @@ TableSet::unflatten(std::uint64_t block) const
     return {table, block - base[table]};
 }
 
+void
+TableSet::appendSample(const std::vector<std::uint64_t> &rowsPerSample,
+                       std::vector<std::uint64_t> &trace) const
+{
+    LAORAM_ASSERT(rowsPerSample.size() == rows.size(),
+                  "sample must look up one row per table");
+    for (std::uint64_t t = 0; t < rows.size(); ++t)
+        trace.push_back(flatten(t, rowsPerSample[t]));
+}
+
+std::vector<std::uint64_t>
+TableSet::accessHistogram(const std::vector<std::uint64_t> &trace) const
+{
+    std::vector<std::uint64_t> counts(rows.size(), 0);
+    for (std::uint64_t block : trace)
+        ++counts[unflatten(block).first];
+    return counts;
+}
+
 TableSet
 TableSet::criteoLike(std::uint64_t largest)
 {

@@ -40,6 +40,22 @@ class TableSet
     unflatten(std::uint64_t block) const;
 
     /**
+     * Flatten a sample-major multi-table gather into one trace: for
+     * each sample, @p rowsPerSample[t] is the row looked up in table
+     * t, appended in table order — the block stream a DLRM batch
+     * pushes through one shared ORAM pipeline.
+     */
+    void appendSample(const std::vector<std::uint64_t> &rowsPerSample,
+                      std::vector<std::uint64_t> &trace) const;
+
+    /**
+     * Per-table access counts of a flat trace (reporting: how one
+     * pipeline's traffic distributes over the protected tables).
+     */
+    std::vector<std::uint64_t>
+    accessHistogram(const std::vector<std::uint64_t> &trace) const;
+
+    /**
      * A 26-table configuration with the skewed size distribution of
      * Criteo-class models (a few huge tables, many small ones),
      * scaled so the largest table has @p largest rows.

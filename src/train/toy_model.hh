@@ -11,7 +11,7 @@
 #define LAORAM_TRAIN_TOY_MODEL_HH
 
 #include <cstdint>
-#include <span>
+#include "util/span.hh"
 #include <vector>
 
 namespace laoram::train {
@@ -54,7 +54,7 @@ class ToyInteractionModel
      *  embedding rows; the dense weight lives here). */
     void applyTopGradient(float lr);
 
-    std::span<const float> weights() const { return {w.data(),
+    Span<const float> weights() const { return {w.data(),
                                                      w.size()}; }
 
   private:

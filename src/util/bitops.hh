@@ -7,7 +7,6 @@
 #ifndef LAORAM_UTIL_BITOPS_HH
 #define LAORAM_UTIL_BITOPS_HH
 
-#include <bit>
 #include <cstdint>
 
 namespace laoram {
@@ -23,7 +22,14 @@ isPow2(std::uint64_t v)
 constexpr unsigned
 floorLog2(std::uint64_t v)
 {
-    return 63u - static_cast<unsigned>(std::countl_zero(v));
+#if defined(__GNUC__) || defined(__clang__)
+    return 63u - static_cast<unsigned>(__builtin_clzll(v));
+#else
+    unsigned log = 0;
+    while (v >>= 1)
+        ++log;
+    return log;
+#endif
 }
 
 /** Ceiling of log2(v); @p v must be non-zero. */

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A bounded, blocking, multi-producer single-consumer queue — the
+ * hand-off between the pipeline's preprocessor thread(s) and the ORAM
+ * serving thread (paper §VIII-A).
+ *
+ * The bound is the pipeline's backpressure: with capacity K the
+ * preprocessor can run at most K windows ahead of the trainer, which
+ * caps the client memory pinned by prepared-but-unserved superblock
+ * schedules. close() lets producers signal end-of-stream; pop() then
+ * drains the remaining items before reporting exhaustion.
+ */
+
+#ifndef LAORAM_UTIL_BOUNDED_QUEUE_HH
+#define LAORAM_UTIL_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace laoram {
+
+/** Bounded blocking FIFO; safe for concurrent push/pop/close. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : cap(capacity)
+    {
+        LAORAM_ASSERT(capacity >= 1,
+                      "queue capacity must be at least 1");
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Block until there is room, then enqueue @p item.
+     *
+     * @return false iff the queue was closed (item dropped)
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        notFull.wait(lock, [&] {
+            return closed || items.size() < cap;
+        });
+        if (closed)
+            return false;
+        items.push_back(std::move(item));
+        lock.unlock();
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available or the queue is closed and
+     * drained.
+     *
+     * @return true with @p out filled, or false on exhaustion
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        notEmpty.wait(lock, [&] { return closed || !items.empty(); });
+        if (items.empty())
+            return false; // closed and drained
+        out = std::move(items.front());
+        items.pop_front();
+        lock.unlock();
+        notFull.notify_one();
+        return true;
+    }
+
+    /**
+     * Like pop(), but does NOT wake blocked producers; the caller
+     * must follow up with notifySlotFree(). Splitting the two lets a
+     * consumer timestamp the hand-off before the wakeup: on a shared
+     * core, notify_one can immediately preempt the consumer in favour
+     * of the producer, and an undeferred notify would bill that
+     * producer work to the consumer's measured wait.
+     */
+    bool
+    popDeferred(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        notEmpty.wait(lock, [&] { return closed || !items.empty(); });
+        if (items.empty())
+            return false; // closed and drained
+        out = std::move(items.front());
+        items.pop_front();
+        return true;
+    }
+
+    /** Release the slot taken by a popDeferred() to blocked pushers. */
+    void notifySlotFree() { notFull.notify_one(); }
+
+    /** End-of-stream: wake all waiters; further push() calls fail. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            closed = true;
+        }
+        notFull.notify_all();
+        notEmpty.notify_all();
+    }
+
+    std::size_t capacity() const { return cap; }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return items.size();
+    }
+
+  private:
+    mutable std::mutex mu;
+    std::condition_variable notFull;
+    std::condition_variable notEmpty;
+    std::deque<T> items;
+    std::size_t cap;
+    bool closed = false;
+};
+
+} // namespace laoram
+
+#endif // LAORAM_UTIL_BOUNDED_QUEUE_HH

@@ -1,11 +1,14 @@
 #include "util/rng.hh"
 
 #include <cmath>
-#include <numbers>
 
 #include "util/logging.hh"
 
 namespace laoram {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+} // namespace
 
 std::uint64_t
 splitMix64(std::uint64_t &state)
@@ -104,7 +107,7 @@ Rng::nextGaussian()
         u1 = nextDouble();
     const double u2 = nextDouble();
     const double radius = std::sqrt(-2.0 * std::log(u1));
-    const double theta = 2.0 * std::numbers::pi * u2;
+    const double theta = 2.0 * kPi * u2;
     spareGaussian = radius * std::sin(theta);
     haveSpareGaussian = true;
     return radius * std::cos(theta);

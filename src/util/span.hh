@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal C++17 stand-in for std::span (which is C++20): a non-owning
+ * (pointer, length) view over contiguous elements. Only the operations
+ * the training substrate needs are provided; swap for std::span once
+ * the toolchain baseline moves to C++20.
+ */
+
+#ifndef LAORAM_UTIL_SPAN_HH
+#define LAORAM_UTIL_SPAN_HH
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace laoram {
+
+/** Non-owning view of a contiguous run of T. */
+template <typename T>
+class Span
+{
+  public:
+    constexpr Span() = default;
+    constexpr Span(T *data, std::size_t size) : ptr(data), len(size) {}
+
+    /** View over a whole vector (mutable element type). */
+    Span(std::vector<std::remove_const_t<T>> &v)
+        : ptr(v.data()), len(v.size())
+    {
+    }
+
+    /** View over a whole const vector (const element type only). */
+    template <typename U = T,
+              typename = std::enable_if_t<std::is_const_v<U>>>
+    Span(const std::vector<std::remove_const_t<T>> &v)
+        : ptr(v.data()), len(v.size())
+    {
+    }
+
+    /** Span<T> -> Span<const T> conversion. */
+    template <typename U = T,
+              typename = std::enable_if_t<std::is_const_v<U>>>
+    constexpr Span(Span<std::remove_const_t<T>> other)
+        : ptr(other.data()), len(other.size())
+    {
+    }
+
+    constexpr T *data() const { return ptr; }
+    constexpr std::size_t size() const { return len; }
+    constexpr bool empty() const { return len == 0; }
+
+    constexpr T &operator[](std::size_t i) const { return ptr[i]; }
+
+    constexpr T *begin() const { return ptr; }
+    constexpr T *end() const { return ptr + len; }
+
+  private:
+    T *ptr = nullptr;
+    std::size_t len = 0;
+};
+
+} // namespace laoram
+
+#endif // LAORAM_UTIL_SPAN_HH

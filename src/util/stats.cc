@@ -205,7 +205,7 @@ StatRegistry::formulaAt(const std::string &name) const
 bool
 StatRegistry::hasCounter(const std::string &name) const
 {
-    return counters.contains(name);
+    return counters.find(name) != counters.end();
 }
 
 } // namespace laoram

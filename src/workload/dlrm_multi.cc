@@ -22,13 +22,13 @@ makeDlrmMultiTrace(const train::TableSet &tables,
     for (std::uint64_t tab = 0; tab < tables.numTables(); ++tab)
         zipfs.emplace_back(tables.tableRows(tab), params.skew);
 
+    std::vector<std::uint64_t> sample(tables.numTables());
     for (std::uint64_t s = 0; s < params.samples; ++s) {
         for (std::uint64_t tab = 0; tab < tables.numTables(); ++tab) {
             const std::uint64_t rank = zipfs[tab](rng);
-            const std::uint64_t row =
-                scatterRank(rank, tables.tableRows(tab));
-            t.accesses.push_back(tables.flatten(tab, row));
+            sample[tab] = scatterRank(rank, tables.tableRows(tab));
         }
+        tables.appendSample(sample, t.accesses);
     }
     return t;
 }

@@ -160,8 +160,9 @@ TEST_P(StressSeeds, RingOramHostileMix)
             oram.readBlock(id, out);
             ASSERT_EQ(out, ref[id]) << "step " << step;
         }
-        if (step % 300 == 299)
+        if (step % 300 == 299) {
             ASSERT_EQ(oram.auditRing(), "") << "step " << step;
+        }
     }
 }
 

@@ -72,9 +72,10 @@ TEST(RecursivePosmap, GetAndSetMatchesShadowMap)
         const Leaf next = rng.nextBounded(512);
         const Leaf old = rpm.getAndSet(id, next);
         auto it = shadow.find(id);
-        if (it != shadow.end())
+        if (it != shadow.end()) {
             EXPECT_EQ(old, it->second) << "id " << id << " step "
                                        << step;
+        }
         shadow[id] = next;
     }
     for (const auto &[id, leaf] : shadow)

@@ -62,8 +62,9 @@ TEST(Retention, SiblingAccessesAreFree)
     EXPECT_EQ(d.logicalAccesses, 3u);
     // All pins released after their accesses arrived.
     for (BlockId m = 0; m < 4; ++m) {
-        if (const StashEntry *e = oram.stashForAudit().find(m))
+        if (const StashEntry *e = oram.stashForAudit().find(m)) {
             EXPECT_FALSE(e->pinned) << "block " << m;
+        }
     }
 }
 
@@ -120,8 +121,9 @@ TEST(Retention, ProOramSplitReleasesPins)
     }
     ASSERT_GE(oram.totalSplits(), 1u);
     for (BlockId m = 0; m < 4; ++m) {
-        if (const StashEntry *e = oram.stashForAudit().find(m))
+        if (const StashEntry *e = oram.stashForAudit().find(m)) {
             EXPECT_FALSE(e->pinned);
+        }
     }
 }
 
