@@ -140,21 +140,34 @@ Laoram::accessBatch(const SuperblockBin *bins, std::size_t count)
 
     readPathsBatchedMetered(scratchLeaves);
 
-    // Touch + remap every member of every bin, in stream order. A
-    // block appearing in several bins of the batch ends up on its
-    // final future path — exactly as if the bins ran back-to-back.
+    // Resolve every member's future path first — random draws happen
+    // in stream order, so the rng stream matches the per-member code
+    // this replaces — then apply the whole batch's remaps in one
+    // position-map pass. A block appearing in several bins ends up on
+    // its final future path (setBatch applies in order, last wins) —
+    // exactly as if the bins ran back-to-back.
+    scratchRemapIds.clear();
+    scratchRemapLeaves.clear();
     for (std::size_t b = 0; b < count; ++b) {
         const SuperblockBin &bin = bins[b];
         for (std::size_t j = 0; j < bin.members.size(); ++j) {
-            const BlockId id = bin.members[j];
-            const Leaf next = bin.nextPaths[j] == kNoFuturePath
-                                  ? randomLeaf()
-                                  : bin.nextPaths[j];
-            posmap_.set(id, next);
-            oram::StashEntry &entry = stashEntryFor(id, next);
-            if (touchFn)
-                touchFn(id, entry.payload);
+            scratchRemapIds.push_back(bin.members[j]);
+            scratchRemapLeaves.push_back(
+                bin.nextPaths[j] == kNoFuturePath ? randomLeaf()
+                                                  : bin.nextPaths[j]);
         }
+    }
+    posmap_.setBatch(scratchRemapIds.data(), scratchRemapLeaves.data(),
+                     scratchRemapIds.size());
+
+    // Touch every member in stream order (repeated members keep
+    // re-targeting their stash entry, so the final entry leaf matches
+    // the per-member code path).
+    for (std::size_t i = 0; i < scratchRemapIds.size(); ++i) {
+        oram::StashEntry &entry =
+            stashEntryFor(scratchRemapIds[i], scratchRemapLeaves[i]);
+        if (touchFn)
+            touchFn(scratchRemapIds[i], entry.payload);
     }
 
     writePathsBatchedMetered(scratchLeaves);
@@ -190,18 +203,25 @@ Laoram::accessBin(const SuperblockBin &bin)
     // the S-fold reduction the paper reports.
     readPathsBatchedMetered(scratchLeaves);
 
-    // Touch every member and remap it to its future-bin path (uniform
-    // random when the look-ahead window holds no further occurrence —
-    // either way the new path is uniform and independent, §VI).
+    // Remap every member to its future-bin path (uniform random when
+    // the look-ahead window holds no further occurrence — either way
+    // the new path is uniform and independent, §VI). Paths are
+    // resolved first, in stream order so the rng stream is unchanged,
+    // then applied as one batched position-map pass before the
+    // member touches.
+    scratchRemapLeaves.clear();
     for (std::size_t j = 0; j < bin.members.size(); ++j) {
-        const BlockId id = bin.members[j];
-        const Leaf next = bin.nextPaths[j] == kNoFuturePath
-                              ? randomLeaf()
-                              : bin.nextPaths[j];
-        posmap_.set(id, next);
-        oram::StashEntry &entry = stashEntryFor(id, next);
+        scratchRemapLeaves.push_back(
+            bin.nextPaths[j] == kNoFuturePath ? randomLeaf()
+                                              : bin.nextPaths[j]);
+    }
+    posmap_.setBatch(bin.members.data(), scratchRemapLeaves.data(),
+                     bin.members.size());
+    for (std::size_t j = 0; j < bin.members.size(); ++j) {
+        oram::StashEntry &entry =
+            stashEntryFor(bin.members[j], scratchRemapLeaves[j]);
         if (touchFn)
-            touchFn(id, entry.payload);
+            touchFn(bin.members[j], entry.payload);
     }
 
     // Write the fetched path union back (deepest-first greedy; each

@@ -144,6 +144,10 @@ class Laoram final : public oram::TreeOramBase
     std::uint64_t nFutureLinked = 0;
 
     std::vector<oram::Leaf> scratchLeaves;
+
+    /** Per-bin/batch remap staging for PositionMap::setBatch. */
+    std::vector<BlockId> scratchRemapIds;
+    std::vector<oram::Leaf> scratchRemapLeaves;
 };
 
 } // namespace laoram::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <exception>
 #include <thread>
 #include <utility>
@@ -13,12 +14,20 @@ namespace laoram::core {
 
 namespace {
 
-/** Monotonic wall-clock timestamp in nanoseconds. */
-double
-nowNs()
+/**
+ * Wall-clock timekeeping stays in steady_clock time_points and
+ * integer-nanosecond durations until the final report: folding
+ * time-since-epoch into a double loses integer precision past 2^53 ns
+ * (~104 days of uptime), after which delta quantization corrupts the
+ * stall/fill accounting. Doubles appear only in PipelineReport.
+ */
+using WallClock = std::chrono::steady_clock;
+
+std::int64_t
+elapsedNs(WallClock::time_point from, WallClock::time_point to)
 {
-    return std::chrono::duration<double, std::nano>(
-               std::chrono::steady_clock::now().time_since_epoch())
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               to - from)
         .count();
 }
 
@@ -26,7 +35,7 @@ nowNs()
 struct PreparedWindow
 {
     WindowSchedule sched;
-    double prepWallNs = 0.0;
+    std::int64_t prepWallNs = 0;
 };
 
 } // namespace
@@ -78,10 +87,12 @@ BatchPipeline::finishModeledReport(PipelineReport &rep,
     // Hidden fraction is measured over the *hideable* preprocessing:
     // the first window's prep is unavoidable pipeline fill, every
     // later window can overlap with the previous window's training.
+    // Clamped like the measured fraction: rounding in the makespan
+    // accumulation must not report hidden work outside [0, 1].
     const double hideable = rep.totalPrepNs - prepNs.front();
     if (hideable > 0.0) {
-        rep.prepHiddenFraction =
-            (rep.serialNs - rep.pipelinedNs) / hideable;
+        rep.prepHiddenFraction = std::clamp(
+            (rep.serialNs - rep.pipelinedNs) / hideable, 0.0, 1.0);
     } else {
         // Single window: nothing can overlap by construction.
         rep.prepHiddenFraction = 0.0;
@@ -125,7 +136,7 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
     BoundedQueue<PreparedWindow> queue(cfg.queueDepth);
     std::exception_ptr prepError;
 
-    const double runStart = nowNs();
+    const WallClock::time_point runStart = WallClock::now();
 
     // Stage 1 on its own thread: slice the trace into look-ahead
     // windows, build each schedule, and push it into the bounded
@@ -141,11 +152,11 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
                     start + cfg.windowAccesses, trace.size());
 
                 PreparedWindow item;
-                const double t0 = nowNs();
+                const WallClock::time_point t0 = WallClock::now();
                 item.sched = prep.runWindow(index, start,
                                             trace.data() + start,
                                             trace.data() + stop);
-                item.prepWallNs = nowNs() - t0;
+                item.prepWallNs = elapsedNs(t0, WallClock::now());
 
                 if (!queue.push(std::move(item)))
                     break; // serving side shut the pipeline down
@@ -161,22 +172,27 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
     // the caller's thread, exactly like the serial runTrace.
     std::vector<double> prepNsModeled;
     std::vector<double> accessNsModeled;
-    std::vector<double> prepWall;
+    std::vector<std::int64_t> prepWall;
+    std::int64_t fillNs = 0;
+    std::int64_t stallNs = 0;
     try {
         PreparedWindow item;
         while (true) {
-            const double waitStart = nowNs();
-            if (!queue.popDeferred(item))
+            BoundedQueue<PreparedWindow>::SlotToken slot;
+            const WallClock::time_point waitStart = WallClock::now();
+            if (!queue.popDeferred(item, slot))
                 break;
-            const double waited = nowNs() - waitStart;
+            const std::int64_t waited =
+                elapsedNs(waitStart, WallClock::now());
             if (prepWall.empty())
-                rep.wallFillNs = waited; // pipeline fill, not a stall
+                fillNs = waited; // pipeline fill, not a stall
             else
-                rep.wallStallNs += waited;
+                stallNs += waited;
             // Hand the freed slot back only now: stage 1's next burst
             // lands inside the serve interval, not inside the wait we
-            // just measured (see BoundedQueue::popDeferred).
-            queue.notifySlotFree();
+            // just measured. If serveWindow throws, the token's
+            // destructor still wakes the producer on unwind.
+            slot.release();
 
             prepWall.push_back(item.prepWallNs);
             prepNsModeled.push_back(
@@ -185,9 +201,10 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
 
             const double simBefore =
                 engine.meter().clock().nanoseconds();
-            const double serveStart = nowNs();
+            const WallClock::time_point serveStart = WallClock::now();
             engine.serveWindow(item.sched.result);
-            rep.wallServeNs += nowNs() - serveStart;
+            rep.wallServeNs += static_cast<double>(
+                elapsedNs(serveStart, WallClock::now()));
             accessNsModeled.push_back(
                 engine.meter().clock().nanoseconds() - simBefore);
         }
@@ -200,18 +217,25 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
     if (prepError)
         std::rethrow_exception(prepError);
 
-    rep.wallTotalNs = nowNs() - runStart;
-    for (double ns : prepWall)
-        rep.wallPrepNs += ns;
+    rep.wallFillNs = static_cast<double>(fillNs);
+    rep.wallStallNs = static_cast<double>(stallNs);
+    rep.wallTotalNs =
+        static_cast<double>(elapsedNs(runStart, WallClock::now()));
+    std::int64_t prepTotalNs = 0;
+    for (std::int64_t ns : prepWall)
+        prepTotalNs += ns;
+    rep.wallPrepNs = static_cast<double>(prepTotalNs);
 
     // Measured overlap: of the preprocessing wall time that could hide
     // behind serving (everything after the first window's fill), the
     // share that never stalled the serving thread.
-    const double hideableWall =
-        prepWall.empty() ? 0.0 : rep.wallPrepNs - prepWall.front();
-    if (hideableWall > 0.0) {
+    const std::int64_t hideableWall =
+        prepWall.empty() ? 0 : prepTotalNs - prepWall.front();
+    if (hideableWall > 0) {
         rep.measuredPrepHiddenFraction = std::clamp(
-            (hideableWall - rep.wallStallNs) / hideableWall, 0.0, 1.0);
+            static_cast<double>(hideableWall - stallNs)
+                / static_cast<double>(hideableWall),
+            0.0, 1.0);
     }
 
     finishModeledReport(rep, prepNsModeled, accessNsModeled);

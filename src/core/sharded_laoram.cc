@@ -1,0 +1,289 @@
+#include "core/sharded_laoram.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace laoram::core {
+
+// ------------------------------------------------------- ShardSplitter
+
+ShardSplitter::ShardSplitter(std::vector<std::uint32_t> shardOfBlock,
+                             std::uint32_t numShards)
+    : nShards(numShards), shardOf_(std::move(shardOfBlock))
+{
+    LAORAM_ASSERT(nShards >= 1, "need at least one shard");
+    LAORAM_ASSERT(!shardOf_.empty(), "empty block space");
+
+    localOf_.resize(shardOf_.size());
+    globals_.resize(nShards);
+    for (BlockId g = 0; g < shardOf_.size(); ++g) {
+        const std::uint32_t s = shardOf_[g];
+        LAORAM_ASSERT(s < nShards, "block ", g, " assigned to shard ",
+                      s, " of ", nShards);
+        localOf_[g] = globals_[s].size();
+        globals_[s].push_back(g);
+    }
+}
+
+ShardSplitter
+ShardSplitter::hashed(std::uint64_t numBlocks, std::uint32_t numShards,
+                      std::uint64_t salt)
+{
+    LAORAM_ASSERT(numShards >= 1, "need at least one shard");
+    std::vector<std::uint32_t> assignment(numBlocks);
+    for (BlockId g = 0; g < numBlocks; ++g) {
+        // Stateless SplitMix64 finaliser: shard choice decorrelated
+        // from id locality, stable across runs and platforms.
+        std::uint64_t state = g ^ salt;
+        assignment[g] =
+            static_cast<std::uint32_t>(splitMix64(state) % numShards);
+    }
+    return ShardSplitter(std::move(assignment), numShards);
+}
+
+ShardSplitter
+ShardSplitter::fromAssignment(std::vector<std::uint32_t> shardOfBlock,
+                              std::uint32_t numShards)
+{
+    return ShardSplitter(std::move(shardOfBlock), numShards);
+}
+
+std::vector<std::vector<BlockId>>
+ShardSplitter::splitTrace(const std::vector<BlockId> &trace) const
+{
+    std::vector<std::vector<BlockId>> sub(nShards);
+    for (BlockId g : trace) {
+        LAORAM_ASSERT(g < shardOf_.size(), "trace block ", g,
+                      " outside the sharded space");
+        sub[shardOf_[g]].push_back(localOf_[g]);
+    }
+    return sub;
+}
+
+// ------------------------------------------------------ ShardedLaoram
+
+std::uint64_t
+ShardedLaoram::shardSeed(std::uint64_t baseSeed, std::uint32_t shard)
+{
+    // Stable pure function of (base seed, shard): one SplitMix64 step
+    // per shard index keeps the per-shard streams decorrelated while a
+    // standalone reference engine can re-derive the exact seed.
+    std::uint64_t state =
+        baseSeed + 0x9E3779B97F4A7C15ULL * (shard + 1ULL);
+    return splitMix64(state);
+}
+
+ShardedLaoram::ShardedLaoram(const ShardedLaoramConfig &cfg)
+    : ShardedLaoram(cfg,
+                    ShardSplitter::hashed(cfg.engine.base.numBlocks,
+                                          cfg.numShards))
+{
+}
+
+ShardedLaoram::ShardedLaoram(const ShardedLaoramConfig &cfg,
+                             ShardSplitter splitter)
+    : cfg(cfg), splitter_(std::move(splitter))
+{
+    LAORAM_ASSERT(cfg.numShards >= 1, "need at least one shard");
+    LAORAM_ASSERT(splitter_.numShards() == cfg.numShards,
+                  "splitter shard count ", splitter_.numShards(),
+                  " != configured ", cfg.numShards);
+    LAORAM_ASSERT(splitter_.numBlocks() == cfg.engine.base.numBlocks,
+                  "splitter covers ", splitter_.numBlocks(),
+                  " blocks, config expects ",
+                  cfg.engine.base.numBlocks);
+    buildEngines();
+}
+
+LaoramConfig
+ShardedLaoram::shardEngineConfigFor(std::uint32_t shard) const
+{
+    LaoramConfig sc = cfg.engine;
+    // Geometry shrinks to the shard's slice; the seed is the shard's
+    // own. An empty shard still builds a minimal 1-block tree so the
+    // engine array stays dense (its sub-trace is empty anyway).
+    sc.base = oram::shardEngineConfig(
+        cfg.engine.base,
+        std::max<std::uint64_t>(splitter_.shardBlocks(shard), 1),
+        shardSeed(cfg.engine.base.seed, shard));
+    // One source of truth for window boundaries: the pipeline window.
+    sc.lookaheadWindow = cfg.pipeline.windowAccesses;
+    return sc;
+}
+
+void
+ShardedLaoram::buildEngines()
+{
+    engines_.reserve(cfg.numShards);
+    for (std::uint32_t s = 0; s < cfg.numShards; ++s)
+        engines_.push_back(
+            std::make_unique<Laoram>(shardEngineConfigFor(s)));
+}
+
+void
+ShardedLaoram::setTouchCallback(Laoram::TouchFn fn)
+{
+    for (std::uint32_t s = 0; s < cfg.numShards; ++s) {
+        if (!fn) {
+            engines_[s]->setTouchCallback(nullptr);
+            continue;
+        }
+        // Each shard engine sees local ids; translate back to the
+        // global id before handing the payload to the user callback.
+        const ShardSplitter &split = splitter_;
+        engines_[s]->setTouchCallback(
+            [fn, s, &split](BlockId local,
+                            std::vector<std::uint8_t> &payload) {
+                fn(split.globalId(s, local), payload);
+            });
+    }
+}
+
+ShardedPipelineReport
+ShardedLaoram::runTrace(const std::vector<BlockId> &trace)
+{
+    using WallClock = std::chrono::steady_clock;
+
+    ShardedPipelineReport rep;
+    rep.shards.resize(cfg.numShards);
+
+    const std::vector<std::vector<BlockId>> sub =
+        splitter_.splitTrace(trace);
+
+    const std::uint32_t poolSize = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(cfg.servingThreads == 0
+                                       ? cfg.numShards
+                                       : cfg.servingThreads,
+                                   cfg.numShards));
+
+    // The pool: each worker claims the next unserved shard, runs that
+    // shard's full two-stage pipeline on itself (serving stage on the
+    // worker, preprocessing on the pipeline's own thread), and moves
+    // on. Shard claiming is a single atomic ticket, so the pool stays
+    // busy even when shard sub-traces are skewed.
+    std::atomic<std::uint32_t> nextShard{0};
+    std::mutex errorMu;
+    std::exception_ptr firstError;
+
+    const WallClock::time_point runStart = WallClock::now();
+    auto worker = [&] {
+        while (true) {
+            const std::uint32_t s =
+                nextShard.fetch_add(1, std::memory_order_relaxed);
+            if (s >= cfg.numShards)
+                return;
+            try {
+                ShardReport &sr = rep.shards[s];
+                sr.accesses = sub[s].size();
+                const mem::TrafficCounters before =
+                    engines_[s]->meter().counters();
+                const double simBefore =
+                    engines_[s]->meter().clock().nanoseconds();
+                BatchPipeline pipe(*engines_[s], cfg.pipeline);
+                sr.pipeline = pipe.run(sub[s]);
+                sr.traffic =
+                    engines_[s]->meter().counters().since(before);
+                sr.simNs = engines_[s]->meter().clock().nanoseconds()
+                           - simBefore;
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMu);
+                if (!firstError)
+                    firstError = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    if (poolSize == 1) {
+        worker(); // serve inline: no pool threads for one lane
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(poolSize);
+        for (std::uint32_t t = 0; t < poolSize; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    const double wallNs = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            WallClock::now() - runStart)
+            .count());
+
+    // ---- Aggregate: sums for work/traffic, max for makespans. ----
+    for (const ShardReport &sr : rep.shards) {
+        rep.aggregate.windows += sr.pipeline.windows;
+        rep.aggregate.totalPrepNs += sr.pipeline.totalPrepNs;
+        rep.aggregate.totalAccessNs += sr.pipeline.totalAccessNs;
+        rep.aggregate.serialNs += sr.pipeline.serialNs;
+        rep.aggregate.pipelinedNs =
+            std::max(rep.aggregate.pipelinedNs, sr.pipeline.pipelinedNs);
+        rep.aggregate.wallPrepNs += sr.pipeline.wallPrepNs;
+        rep.aggregate.wallServeNs += sr.pipeline.wallServeNs;
+        rep.aggregate.wallFillNs += sr.pipeline.wallFillNs;
+        rep.aggregate.wallStallNs += sr.pipeline.wallStallNs;
+        rep.traffic += sr.traffic;
+        rep.simNs = std::max(rep.simNs, sr.simNs);
+        rep.simTotalNs += sr.simNs;
+    }
+    rep.aggregate.wallTotalNs = wallNs;
+
+    // Hidden fractions over the pooled run: the prep-weighted average
+    // of the per-shard fractions (each already clamped to [0, 1]), so
+    // the aggregate stays in range and big shards dominate.
+    double prepWeight = 0.0, prepHidden = 0.0;
+    double wallWeight = 0.0, wallHidden = 0.0;
+    for (const ShardReport &sr : rep.shards) {
+        prepWeight += sr.pipeline.totalPrepNs;
+        prepHidden +=
+            sr.pipeline.totalPrepNs * sr.pipeline.prepHiddenFraction;
+        wallWeight += sr.pipeline.wallPrepNs;
+        wallHidden += sr.pipeline.wallPrepNs
+                      * sr.pipeline.measuredPrepHiddenFraction;
+    }
+    if (prepWeight > 0.0)
+        rep.aggregate.prepHiddenFraction = prepHidden / prepWeight;
+    if (wallWeight > 0.0)
+        rep.aggregate.measuredPrepHiddenFraction =
+            wallHidden / wallWeight;
+    return rep;
+}
+
+mem::TrafficCounters
+ShardedLaoram::totalCounters() const
+{
+    mem::TrafficCounters total;
+    for (const auto &engine : engines_)
+        total += engine->meter().counters();
+    return total;
+}
+
+double
+ShardedLaoram::simNs() const
+{
+    double ns = 0.0;
+    for (const auto &engine : engines_)
+        ns = std::max(ns, engine->meter().clock().nanoseconds());
+    return ns;
+}
+
+std::uint64_t
+ShardedLaoram::serverBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &engine : engines_)
+        bytes += engine->geometry().serverBytes();
+    return bytes;
+}
+
+} // namespace laoram::core

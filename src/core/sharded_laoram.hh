@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Hash-sharded multi-tree LAORAM with a serving-thread pool.
+ *
+ * The paper's client (§IV) serves one ORAM tree from one serving
+ * thread; production embedding traffic wants many. ShardedLaoram
+ * splits one logical block space across N independent Laoram engines
+ * (one tree, stash, position map and traffic meter each) and serves
+ * all shards concurrently: a pool of serving threads runs one
+ * two-stage pipeline — preprocessor thread + bounded queue + serving
+ * thread (§VIII-A) — per shard.
+ *
+ * Sharding is deterministic and reproducible by construction: the
+ * splitter is a pure function of (numBlocks, numShards, salt), every
+ * shard engine is seeded by a stable pure function of (base seed,
+ * shard index), and a shard's serve stream is byte-identical to
+ * running that shard's sub-trace through a standalone Laoram with the
+ * same derived config — the PR-1 determinism contract, now per shard.
+ *
+ * Security note: each shard is an independent ORAM over its slice of
+ * the id space, so the adversary learns which *shard* a request hits
+ * (as in any multi-server/disaggregated ORAM deployment) but nothing
+ * about which block within the shard. The hash split keeps shard
+ * choice independent of access popularity structure.
+ */
+
+#ifndef LAORAM_CORE_SHARDED_LAORAM_HH
+#define LAORAM_CORE_SHARDED_LAORAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "mem/traffic_meter.hh"
+
+namespace laoram::core {
+
+/**
+ * Deterministic block-id -> (shard, local id) bijection.
+ *
+ * Global ids are assigned to shards either by a stateless mixing hash
+ * (hashed()) or by an arbitrary caller-supplied assignment
+ * (fromAssignment(); per-table sharding for TableSet routes whole
+ * tables this way). Within a shard, local ids are dense — assigned by
+ * scanning global ids in increasing order — so each shard engine runs
+ * over a compact [0, shardBlocks) space with its own small tree.
+ */
+class ShardSplitter
+{
+  public:
+    /** Salt folded into the shard hash (stable across versions). */
+    static constexpr std::uint64_t kShardHashSalt = 0x5A4D5348;
+
+    /**
+     * Hash-shard [0, numBlocks): shard(id) = mix(id ^ salt) mod
+     * numShards with a SplitMix64 finaliser, so shard choice is
+     * uncorrelated with id locality (consecutive rows of one table
+     * spread over all shards).
+     */
+    static ShardSplitter hashed(std::uint64_t numBlocks,
+                                std::uint32_t numShards,
+                                std::uint64_t salt = kShardHashSalt);
+
+    /**
+     * Shard by explicit per-block assignment: @p shardOfBlock[g] is
+     * the shard of global id g; every value must be < @p numShards.
+     */
+    static ShardSplitter
+    fromAssignment(std::vector<std::uint32_t> shardOfBlock,
+                   std::uint32_t numShards);
+
+    std::uint32_t numShards() const { return nShards; }
+    std::uint64_t numBlocks() const { return shardOf_.size(); }
+
+    std::uint32_t
+    shardOf(BlockId global) const
+    {
+        return shardOf_[global];
+    }
+
+    /** Dense id of @p global inside its shard. */
+    BlockId
+    localId(BlockId global) const
+    {
+        return localOf_[global];
+    }
+
+    /** Inverse of (shardOf, localId). */
+    BlockId
+    globalId(std::uint32_t shard, BlockId local) const
+    {
+        return globals_[shard][local];
+    }
+
+    /** Blocks assigned to @p shard. */
+    std::uint64_t
+    shardBlocks(std::uint32_t shard) const
+    {
+        return globals_[shard].size();
+    }
+
+    /**
+     * Split a global trace into per-shard local traces, preserving
+     * per-shard access order (the projection of the logical stream
+     * onto each shard).
+     */
+    std::vector<std::vector<BlockId>>
+    splitTrace(const std::vector<BlockId> &trace) const;
+
+  private:
+    ShardSplitter(std::vector<std::uint32_t> shardOfBlock,
+                  std::uint32_t numShards);
+
+    std::uint32_t nShards = 1;
+    std::vector<std::uint32_t> shardOf_; ///< global -> shard
+    std::vector<BlockId> localOf_;       ///< global -> dense local id
+    std::vector<std::vector<BlockId>> globals_; ///< inverse map
+};
+
+/** Sharded-engine knobs. */
+struct ShardedLaoramConfig
+{
+    /**
+     * Template for every shard engine: numBlocks is the *global*
+     * block-space size (each shard covers its slice), seed is the
+     * base seed the per-shard seeds derive from. lookaheadWindow is
+     * overridden per shard by pipeline.windowAccesses, the single
+     * source of truth for window boundaries.
+     */
+    LaoramConfig engine;
+
+    /** Number of independent ORAM trees. */
+    std::uint32_t numShards = 4;
+
+    /**
+     * Serving threads in the pool (0 = one per shard). Each busy
+     * thread owns one shard's full two-stage pipeline, so the live
+     * thread count is at most 2x this value.
+     */
+    std::uint32_t servingThreads = 0;
+
+    /** Per-shard pipeline knobs (window size, queue depth, mode). */
+    PipelineConfig pipeline;
+};
+
+/** One shard's slice of a sharded run. */
+struct ShardReport
+{
+    std::uint64_t accesses = 0;       ///< sub-trace length
+    PipelineReport pipeline;          ///< that shard's pipeline run
+    mem::TrafficCounters traffic;     ///< delta over the run
+    double simNs = 0.0;               ///< simulated serve time delta
+};
+
+/**
+ * Aggregated view of a sharded run: traffic and stash stats summed
+ * over shards, wall/simulated times max-over-shards (shards run
+ * concurrently), plus the per-shard breakdown.
+ */
+struct ShardedPipelineReport
+{
+    /**
+     * Summed PipelineReport: windows/prep/serve totals added up;
+     * wallTotalNs is the measured end-to-end pool wall time (not a
+     * sum); pipelinedNs is max-over-shards; the hidden fractions are
+     * the prep-weighted averages of the per-shard fractions.
+     */
+    PipelineReport aggregate;
+
+    /** Element-wise sum of every shard's traffic counters. */
+    mem::TrafficCounters traffic;
+
+    /** Max-over-shards simulated serve time (concurrent shards). */
+    double simNs = 0.0;
+
+    /** Sum-over-shards simulated serve time (total ORAM work). */
+    double simTotalNs = 0.0;
+
+    std::vector<ShardReport> shards;
+};
+
+/**
+ * N independent Laoram engines behind one logical block space, served
+ * by a pool of pipeline threads.
+ *
+ * Thread-safety: runTrace serves distinct shards from distinct pool
+ * threads concurrently. An installed touch callback is invoked under
+ * that concurrency — it receives the *global* block id and must be
+ * safe to call from several threads at once for blocks of different
+ * shards (per-block payload mutation, as in training, is safe).
+ */
+class ShardedLaoram
+{
+  public:
+    /** Hash-sharded over cfg.engine.base.numBlocks. */
+    explicit ShardedLaoram(const ShardedLaoramConfig &cfg);
+
+    /** Custom split (e.g. per-table routing from TableSet). */
+    ShardedLaoram(const ShardedLaoramConfig &cfg,
+                  ShardSplitter splitter);
+
+    // Pinned in place: installed touch-callback wrappers capture
+    // this object's splitter by reference, so moving would leave
+    // them dangling.
+    ShardedLaoram(const ShardedLaoram &) = delete;
+    ShardedLaoram &operator=(const ShardedLaoram &) = delete;
+    ShardedLaoram(ShardedLaoram &&) = delete;
+    ShardedLaoram &operator=(ShardedLaoram &&) = delete;
+
+    /**
+     * Stable per-shard engine seed: a pure function of the base seed
+     * and the shard index. A standalone Laoram built over shard i's
+     * block count with this seed reproduces shard i byte for byte.
+     */
+    static std::uint64_t shardSeed(std::uint64_t baseSeed,
+                                   std::uint32_t shard);
+
+    /**
+     * The exact LaoramConfig shard @p i runs under (shrunken block
+     * space, derived seed, pipeline-aligned look-ahead window) — what
+     * a determinism test hands to a reference engine.
+     */
+    LaoramConfig shardEngineConfigFor(std::uint32_t shard) const;
+
+    /**
+     * Split @p trace across the shards and serve every sub-trace
+     * concurrently, one two-stage pipeline per shard, at most
+     * servingThreads shard pipelines in flight.
+     */
+    ShardedPipelineReport runTrace(const std::vector<BlockId> &trace);
+
+    /**
+     * Payload hook applied at bin-access time, called with the
+     * *global* block id (see class comment for thread-safety).
+     */
+    void setTouchCallback(Laoram::TouchFn fn);
+
+    std::uint32_t numShards() const { return splitter_.numShards(); }
+    const ShardSplitter &splitter() const { return splitter_; }
+    Laoram &shard(std::uint32_t i) { return *engines_[i]; }
+    const Laoram &shard(std::uint32_t i) const { return *engines_[i]; }
+
+    /** Sum of every shard's live traffic counters. */
+    mem::TrafficCounters totalCounters() const;
+
+    /** Max-over-shards simulated clock (concurrent serve time). */
+    double simNs() const;
+
+    /** Server tree bytes summed over shards. */
+    std::uint64_t serverBytes() const;
+
+    const ShardedLaoramConfig &config() const { return cfg; }
+
+  private:
+    void buildEngines();
+
+    ShardedLaoramConfig cfg;
+    ShardSplitter splitter_;
+    std::vector<std::unique_ptr<Laoram>> engines_;
+};
+
+} // namespace laoram::core
+
+#endif // LAORAM_CORE_SHARDED_LAORAM_HH

@@ -40,6 +40,23 @@ TrafficCounters::since(const TrafficCounters &start) const
     return d;
 }
 
+TrafficCounters &
+TrafficCounters::operator+=(const TrafficCounters &other)
+{
+    logicalAccesses += other.logicalAccesses;
+    pathReads += other.pathReads;
+    pathWrites += other.pathWrites;
+    dummyReads += other.dummyReads;
+    blocksRead += other.blocksRead;
+    blocksWritten += other.blocksWritten;
+    bytesRead += other.bytesRead;
+    bytesWritten += other.bytesWritten;
+    stashPeak += other.stashPeak;
+    stashHits += other.stashHits;
+    reshuffles += other.reshuffles;
+    return *this;
+}
+
 TrafficMeter::TrafficMeter(const CostModel &model) : model(model) {}
 
 void

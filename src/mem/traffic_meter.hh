@@ -43,6 +43,13 @@ struct TrafficCounters
 
     /** Element-wise difference (this - start), for interval metrics. */
     TrafficCounters since(const TrafficCounters &start) const;
+
+    /**
+     * Element-wise accumulation (shard aggregation). stashPeak sums
+     * too: concurrent shard stashes are resident simultaneously, so
+     * the summed peaks bound total client stash memory.
+     */
+    TrafficCounters &operator+=(const TrafficCounters &other);
 };
 
 /**

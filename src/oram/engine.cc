@@ -6,6 +6,18 @@
 
 namespace laoram::oram {
 
+EngineConfig
+shardEngineConfig(const EngineConfig &base, std::uint64_t shardBlocks,
+                  std::uint64_t shardSeed)
+{
+    LAORAM_ASSERT(shardBlocks >= 1,
+                  "a shard must cover at least one block");
+    EngineConfig cfg = base;
+    cfg.numBlocks = shardBlocks;
+    cfg.seed = shardSeed;
+    return cfg;
+}
+
 OramEngine::OramEngine(const EngineConfig &cfg)
     : cfg(cfg),
       geom(cfg.numBlocks, cfg.blockBytes, cfg.profile),

@@ -43,6 +43,19 @@ struct EngineConfig
 };
 
 /**
+ * Derive a shard-local engine configuration from one logical config:
+ * same knobs (block size, bucket profile, water marks, cost model),
+ * but covering only @p shardBlocks blocks — so each shard's tree
+ * geometry shrinks with its slice of the id space — and seeded with
+ * the shard's own @p shardSeed. The result is exactly the config a
+ * standalone engine over that sub-space would use, which is what makes
+ * sharded runs reproducible against unsharded per-shard references.
+ */
+EngineConfig shardEngineConfig(const EngineConfig &base,
+                               std::uint64_t shardBlocks,
+                               std::uint64_t shardSeed);
+
+/**
  * Abstract address-hiding engine.
  *
  * A logical access touches one block id; the engine translates it into

@@ -1,5 +1,7 @@
 #include "oram/position_map.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace laoram::oram {
@@ -27,6 +29,20 @@ PositionMap::set(BlockId id, Leaf leaf)
     LAORAM_ASSERT(id < map.size(), "block ", id, " beyond map size ",
                   map.size());
     map[id] = leaf;
+}
+
+void
+PositionMap::setBatch(const BlockId *ids, const Leaf *leaves,
+                      std::size_t count)
+{
+    BlockId maxId = 0;
+    for (std::size_t i = 0; i < count; ++i)
+        maxId = std::max(maxId, ids[i]);
+    LAORAM_ASSERT(count == 0 || maxId < map.size(), "block ", maxId,
+                  " beyond map size ", map.size());
+    Leaf *const m = map.data();
+    for (std::size_t i = 0; i < count; ++i)
+        m[ids[i]] = leaves[i];
 }
 
 } // namespace laoram::oram

@@ -10,6 +10,7 @@
 #ifndef LAORAM_ORAM_POSITION_MAP_HH
 #define LAORAM_ORAM_POSITION_MAP_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,16 @@ class PositionMap
 
     Leaf get(BlockId id) const;
     void set(BlockId id, Leaf leaf);
+
+    /**
+     * Apply @p count remaps ids[i] -> leaves[i], in order (a block
+     * appearing twice ends on its later leaf). One call per superblock
+     * bin or training batch replaces the per-member set() calls that
+     * profile at ~15% of LAORAM serve time at S=8: bounds checking is
+     * hoisted out of the loop and the map is walked in one pass.
+     */
+    void setBatch(const BlockId *ids, const Leaf *leaves,
+                  std::size_t count);
 
     std::uint64_t size() const { return map.size(); }
 

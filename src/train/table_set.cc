@@ -67,6 +67,53 @@ TableSet::accessHistogram(const std::vector<std::uint64_t> &trace) const
     return counts;
 }
 
+std::vector<std::uint32_t>
+TableSet::shardPlan(std::uint32_t numShards) const
+{
+    LAORAM_ASSERT(numShards >= 1, "need at least one shard");
+    std::vector<std::uint32_t> plan(rows.size(), 0);
+    if (numShards == 1)
+        return plan;
+
+    // LPT greedy: visit tables biggest first, place each on the shard
+    // with the fewest rows so far. Ties break on the lower table /
+    // shard index, keeping the plan deterministic.
+    std::vector<std::uint64_t> order(rows.size());
+    for (std::uint64_t t = 0; t < rows.size(); ++t)
+        order[t] = t;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint64_t a, std::uint64_t b) {
+                  if (rows[a] != rows[b])
+                      return rows[a] > rows[b];
+                  return a < b;
+              });
+
+    std::vector<std::uint64_t> load(numShards, 0);
+    for (std::uint64_t t : order) {
+        std::uint32_t lightest = 0;
+        for (std::uint32_t s = 1; s < numShards; ++s) {
+            if (load[s] < load[lightest])
+                lightest = s;
+        }
+        plan[t] = lightest;
+        load[lightest] += rows[t];
+    }
+    return plan;
+}
+
+std::vector<std::uint32_t>
+TableSet::blockShardAssignment(
+    const std::vector<std::uint32_t> &plan) const
+{
+    LAORAM_ASSERT(plan.size() == rows.size(),
+                  "plan must name one shard per table");
+    std::vector<std::uint32_t> assignment;
+    assignment.reserve(total);
+    for (std::uint64_t t = 0; t < rows.size(); ++t)
+        assignment.insert(assignment.end(), rows[t], plan[t]);
+    return assignment;
+}
+
 TableSet
 TableSet::criteoLike(std::uint64_t largest)
 {

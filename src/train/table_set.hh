@@ -56,6 +56,26 @@ class TableSet
     accessHistogram(const std::vector<std::uint64_t> &trace) const;
 
     /**
+     * Assign each table to one of @p numShards ORAM shards, balancing
+     * total rows with longest-processing-time greedy placement (big
+     * tables first, each to the currently lightest shard). Routing
+     * whole tables keeps every table's rows in one tree — the
+     * per-table analogue of hash-sharding the flat block space.
+     *
+     * @return shard index per table, in table order
+     */
+    std::vector<std::uint32_t> shardPlan(std::uint32_t numShards)
+        const;
+
+    /**
+     * Expand a per-table plan (shardPlan or custom) into the
+     * per-block assignment core::ShardSplitter::fromAssignment
+     * consumes: block b of table t goes to plan[t].
+     */
+    std::vector<std::uint32_t>
+    blockShardAssignment(const std::vector<std::uint32_t> &plan) const;
+
+    /**
      * A 26-table configuration with the skewed size distribution of
      * Criteo-class models (a few huge tables, many small ones),
      * scaled so the largest table has @p largest rows.

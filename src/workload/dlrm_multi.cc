@@ -16,17 +16,22 @@ makeDlrmMultiTrace(const train::TableSet &tables,
 
     Rng rng(params.seed);
     // One popularity distribution per table; ranks scattered over the
-    // table's rows so "hot" is not "low row id".
+    // table's rows so "hot" is not "low row id". Scatterers are built
+    // once per table, not once per sampled access.
     std::vector<ZipfSampler> zipfs;
+    std::vector<RankScatterer> scatters;
     zipfs.reserve(tables.numTables());
-    for (std::uint64_t tab = 0; tab < tables.numTables(); ++tab)
+    scatters.reserve(tables.numTables());
+    for (std::uint64_t tab = 0; tab < tables.numTables(); ++tab) {
         zipfs.emplace_back(tables.tableRows(tab), params.skew);
+        scatters.emplace_back(tables.tableRows(tab));
+    }
 
     std::vector<std::uint64_t> sample(tables.numTables());
     for (std::uint64_t s = 0; s < params.samples; ++s) {
         for (std::uint64_t tab = 0; tab < tables.numTables(); ++tab) {
             const std::uint64_t rank = zipfs[tab](rng);
-            sample[tab] = scatterRank(rank, tables.tableRows(tab));
+            sample[tab] = scatters[tab](rank);
         }
         tables.appendSample(sample, t.accesses);
     }

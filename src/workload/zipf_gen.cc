@@ -7,22 +7,27 @@
 
 namespace laoram::workload {
 
-BlockId
-scatterRank(std::uint64_t rank, std::uint64_t numBlocks)
+RankScatterer::RankScatterer(std::uint64_t numBlocks)
+    : numBlocks(numBlocks)
 {
+    LAORAM_ASSERT(numBlocks > 0, "empty address space");
     // Multiplicative bijection: an odd multiplier coprime with the
     // table size spreads consecutive ranks across the address space.
     // Start from the golden-ratio constant and step until coprime so
     // the map stays a bijection for any table size.
-    std::uint64_t mult = 0x9E3779B97F4A7C15ULL % numBlocks;
+    mult = 0x9E3779B97F4A7C15ULL % numBlocks;
     if (mult == 0)
         mult = 1;
     while (std::gcd(mult, numBlocks) != 1)
         ++mult;
     // Affine offset so rank 0 (the hottest item) does not pin to id 0.
-    const std::uint64_t offset = 0x632BE59BD9B4E019ULL % numBlocks;
-    return static_cast<BlockId>(
-        (static_cast<__uint128_t>(rank) * mult + offset) % numBlocks);
+    offset = 0x632BE59BD9B4E019ULL % numBlocks;
+}
+
+BlockId
+scatterRank(std::uint64_t rank, std::uint64_t numBlocks)
+{
+    return RankScatterer(numBlocks)(rank);
 }
 
 Trace
@@ -36,10 +41,11 @@ makeZipfTrace(const ZipfParams &params)
 
     Rng rng(params.seed);
     ZipfSampler zipf(params.numBlocks, params.skew);
+    const RankScatterer scatter(params.numBlocks);
     for (std::uint64_t i = 0; i < params.accesses; ++i) {
         const std::uint64_t rank = zipf(rng);
         t.accesses.push_back(params.scatterRanks
-                                 ? scatterRank(rank, params.numBlocks)
+                                 ? scatter(rank)
                                  : static_cast<BlockId>(rank));
     }
     return t;

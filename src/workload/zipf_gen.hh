@@ -29,7 +29,36 @@ struct ZipfParams
  */
 Trace makeZipfTrace(const ZipfParams &params);
 
-/** The rank -> id bijection used when scatterRanks is set. */
+/**
+ * The rank -> id bijection used when scatterRanks is set, with its
+ * multiplier/offset search hoisted to construction: both are pure
+ * functions of @p numBlocks, so a trace generator builds one
+ * RankScatterer and maps every sample through it instead of re-running
+ * the coprime search per access.
+ */
+class RankScatterer
+{
+  public:
+    explicit RankScatterer(std::uint64_t numBlocks);
+
+    BlockId
+    operator()(std::uint64_t rank) const
+    {
+        return static_cast<BlockId>(
+            (static_cast<__uint128_t>(rank) * mult + offset)
+            % numBlocks);
+    }
+
+  private:
+    std::uint64_t numBlocks;
+    std::uint64_t mult;
+    std::uint64_t offset;
+};
+
+/**
+ * One-shot convenience wrapper around RankScatterer (re-derives the
+ * multiplier per call; fine off the hot path).
+ */
 BlockId scatterRank(std::uint64_t rank, std::uint64_t numBlocks);
 
 } // namespace laoram::workload

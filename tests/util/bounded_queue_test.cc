@@ -1,0 +1,162 @@
+/**
+ * @file
+ * BoundedQueue tests: MPMC stress for the serving-pool regime
+ * (several producers and consumers on one queue) and the RAII slot
+ * token that keeps a throwing consumer from stranding producers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/bounded_queue.hh"
+
+namespace laoram {
+namespace {
+
+TEST(BoundedQueue, MultiProducerMultiConsumerDeliversEachItemOnce)
+{
+    constexpr std::uint64_t kProducers = 4;
+    constexpr std::uint64_t kConsumers = 3;
+    constexpr std::uint64_t kPerProducer = 5000;
+    constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+
+    BoundedQueue<std::uint64_t> queue(4);
+    std::atomic<std::uint64_t> produced{0};
+    std::vector<std::uint8_t> seen(kTotal, 0);
+    std::mutex seenMu;
+
+    std::vector<std::thread> producers;
+    for (std::uint64_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+                ASSERT_TRUE(queue.push(p * kPerProducer + i));
+                produced.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    std::vector<std::thread> consumers;
+    std::atomic<std::uint64_t> consumed{0};
+    for (std::uint64_t c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            std::uint64_t item = 0;
+            // Alternate pop() and popDeferred() so both consumer
+            // paths run under contention.
+            bool deferred = false;
+            while (true) {
+                bool got;
+                if (deferred) {
+                    BoundedQueue<std::uint64_t>::SlotToken token;
+                    got = queue.popDeferred(item, token);
+                    if (got) {
+                        EXPECT_TRUE(token.held());
+                    }
+                } else {
+                    got = queue.pop(item);
+                }
+                if (!got)
+                    break;
+                deferred = !deferred;
+                {
+                    std::lock_guard<std::mutex> lock(seenMu);
+                    ASSERT_LT(item, kTotal);
+                    ASSERT_EQ(seen[item], 0)
+                        << "item " << item << " delivered twice";
+                    seen[item] = 1;
+                }
+                consumed.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    for (auto &t : producers)
+        t.join();
+    queue.close();
+    for (auto &t : consumers)
+        t.join();
+
+    EXPECT_EQ(produced.load(), kTotal);
+    EXPECT_EQ(consumed.load(), kTotal);
+    for (std::uint64_t i = 0; i < kTotal; ++i)
+        ASSERT_EQ(seen[i], 1) << "item " << i << " lost";
+}
+
+TEST(BoundedQueue, SlotTokenReleasesOnUnwind)
+{
+    // Capacity-1 queue, producer pushing two items: the second push
+    // blocks until the consumer's slot wakeup. The consumer throws
+    // between popDeferred and the explicit release — the token's
+    // destructor must deliver the wakeup, or the producer deadlocks
+    // (pre-token code leaked the slot exactly here).
+    BoundedQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(1));
+
+    std::thread producer([&] { EXPECT_TRUE(queue.push(2)); });
+
+    auto consumeAndThrow = [&] {
+        int item = 0;
+        BoundedQueue<int>::SlotToken token;
+        ASSERT_TRUE(queue.popDeferred(item, token));
+        EXPECT_EQ(item, 1);
+        throw std::runtime_error("consumer died mid-window");
+    };
+    EXPECT_THROW(consumeAndThrow(), std::runtime_error);
+
+    // Producer unblocks only if the unwound token freed the slot.
+    producer.join();
+    int item = 0;
+    EXPECT_TRUE(queue.pop(item));
+    EXPECT_EQ(item, 2);
+}
+
+TEST(BoundedQueue, SlotTokenMoveTransfersTheWakeup)
+{
+    BoundedQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(7));
+
+    int item = 0;
+    BoundedQueue<int>::SlotToken token;
+    ASSERT_TRUE(queue.popDeferred(item, token));
+    EXPECT_TRUE(token.held());
+
+    BoundedQueue<int>::SlotToken moved(std::move(token));
+    EXPECT_FALSE(token.held());
+    EXPECT_TRUE(moved.held());
+    moved.release();
+    EXPECT_FALSE(moved.held());
+
+    // Queue stays usable after the transferred release.
+    ASSERT_TRUE(queue.push(8));
+    EXPECT_TRUE(queue.pop(item));
+    EXPECT_EQ(item, 8);
+}
+
+TEST(BoundedQueue, CloseDrainsThenReportsExhaustion)
+{
+    BoundedQueue<int> queue(4);
+    ASSERT_TRUE(queue.push(1));
+    ASSERT_TRUE(queue.push(2));
+    queue.close();
+
+    EXPECT_FALSE(queue.push(3)); // closed: rejected
+
+    int item = 0;
+    BoundedQueue<int>::SlotToken token;
+    EXPECT_TRUE(queue.popDeferred(item, token));
+    EXPECT_EQ(item, 1);
+    token.release();
+    EXPECT_TRUE(queue.pop(item));
+    EXPECT_EQ(item, 2);
+    EXPECT_FALSE(queue.pop(item)); // drained
+    EXPECT_FALSE(queue.popDeferred(item, token));
+    EXPECT_FALSE(token.held()); // exhaustion leaves the token empty
+}
+
+} // namespace
+} // namespace laoram

@@ -112,6 +112,44 @@ TEST(ZipfGen, ScatterRankIsBijection)
     }
 }
 
+TEST(ZipfGen, RankScattererMatchesScatterRank)
+{
+    // The hoisted per-trace scatterer must reproduce the one-shot
+    // scatterRank exactly, including sizes where the coprime search
+    // has to step off the golden-ratio constant.
+    for (std::uint64_t n :
+         {1ULL, 2ULL, 16ULL, 100ULL, 255ULL, 262144ULL, 999983ULL}) {
+        const RankScatterer scatter(n);
+        const std::uint64_t probe = std::min<std::uint64_t>(n, 500);
+        for (std::uint64_t r = 0; r < probe; ++r)
+            ASSERT_EQ(scatter(r), scatterRank(r, n)) << "n=" << n;
+    }
+}
+
+TEST(ZipfGen, ScatterHoistLeavesTraceUnchanged)
+{
+    // Regression for the per-access coprime-search hoist: the
+    // scattered trace must stay the element-wise scatterRank image of
+    // the unscattered trace (scattering consumes no rng draws, so
+    // both runs sample identical ranks).
+    ZipfParams p;
+    p.numBlocks = 75000; // not a power of two: gcd search engages
+    p.accesses = 20000;
+    p.skew = 1.0;
+    p.seed = 42;
+    p.scatterRanks = true;
+    const Trace scattered = makeZipfTrace(p);
+
+    p.scatterRanks = false;
+    const Trace ranks = makeZipfTrace(p);
+
+    ASSERT_EQ(scattered.size(), ranks.size());
+    for (std::uint64_t i = 0; i < ranks.size(); ++i)
+        ASSERT_EQ(scattered.accesses[i],
+                  scatterRank(ranks.accesses[i], p.numBlocks))
+            << "trace diverges at access " << i;
+}
+
 TEST(ZipfGen, HeadIsHot)
 {
     ZipfParams p;
