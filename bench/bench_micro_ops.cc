@@ -95,6 +95,46 @@ BM_PreprocessorScan(benchmark::State &state)
 }
 
 void
+BM_StorageVectoredPathRead(benchmark::State &state)
+{
+    // The vectored-path hot path of the AccessSink cleanup: with no
+    // sink installed the per-path read takes ONE branch for the audit
+    // tap, not one per slot. range(0) == 1 attaches a trivial sink so
+    // the no-sink fast path and the probe path are directly
+    // comparable.
+    const std::uint64_t blocks = 1 << 16;
+    oram::EngineConfig cfg;
+    cfg.numBlocks = blocks;
+    cfg.blockBytes = 128;
+    cfg.seed = 11;
+    oram::PathOram engine(cfg);
+    oram::ServerStorage &storage = engine.storageForTest();
+    const oram::TreeGeometry &geom = engine.geometry();
+
+    std::uint64_t sunk = 0;
+    if (state.range(0) == 1) {
+        storage.setAccessSink(
+            [&sunk](std::uint64_t, bool) { ++sunk; });
+    }
+
+    // One whole root-to-leaf path per iteration, like readPathMetered.
+    std::vector<std::uint64_t> slots;
+    for (unsigned level = 0; level < geom.numLevels(); ++level) {
+        const auto node = geom.pathNode(/*leaf=*/3, level);
+        const std::uint64_t base = geom.nodeSlotBase(node);
+        for (std::uint64_t s = 0; s < geom.bucketSize(level); ++s)
+            slots.push_back(base + s);
+    }
+    std::vector<oram::StoredBlock> out;
+    for (auto _ : state) {
+        storage.readSlots(slots.data(), slots.size(), out);
+        benchmark::DoNotOptimize(out);
+    }
+    benchmark::DoNotOptimize(sunk);
+    state.SetItemsProcessed(state.iterations() * slots.size());
+}
+
+void
 BM_PipelineTrace(benchmark::State &state)
 {
     // Full two-stage pipeline over a fixed trace; range(0) selects
@@ -125,6 +165,7 @@ BENCHMARK(BM_PathOramAccess)->Arg(12)->Arg(16)->Arg(18);
 BENCHMARK(BM_LaoramBinAccess)->Arg(12)->Arg(16)->Arg(18);
 BENCHMARK(BM_RingOramAccess)->Arg(12)->Arg(16);
 BENCHMARK(BM_PreprocessorScan)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_StorageVectoredPathRead)->Arg(0)->Arg(1);
 BENCHMARK(BM_PipelineTrace)
     ->Arg(0)
     ->Arg(1)

@@ -59,6 +59,10 @@ main(int argc, char **argv)
     std::cout << "  shards   sim ms   acc/simMs   speedup   wall ms   "
                  "acc/wallMs   prep hidden\n";
 
+    bench::BenchJson json("shard_scaling");
+    json.add("accesses", *accesses);
+    json.add("blocks", *blocks);
+
     double baselineSimNs = 0.0;
     for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
         core::ShardedLaoramConfig cfg;
@@ -85,7 +89,16 @@ main(int argc, char **argv)
                   << std::setw(13)
                   << rep.aggregate.measuredPrepHiddenFraction * 100.0
                   << "%\n";
+
+        const std::string tag = "shards" + std::to_string(shards);
+        json.add(tag + ".sim_ms", rep.simNs / 1e6);
+        json.add(tag + ".wall_ms", rep.aggregate.wallTotalNs / 1e6);
+        json.add(tag + ".speedup", baselineSimNs / rep.simNs);
+        json.add(tag + ".io_stall_ms", rep.aggregate.wallIoNs / 1e6);
+        json.add(tag + ".io_serve_fraction",
+                 rep.aggregate.ioServeFraction);
     }
+    json.write();
 
     std::cout << "\nAggregate simulated throughput rises "
                  "monotonically with the shard\ncount: concurrent "

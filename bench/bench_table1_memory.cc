@@ -10,9 +10,11 @@
  * discussed in EXPERIMENTS.md.
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "common/harness.hh"
+#include "oram/server_storage.hh"
 #include "oram/tree_geometry.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
@@ -91,5 +93,40 @@ main(int argc, char **argv)
                  " leaf per block)\nis reproduced exactly; the paper's"
                  " FAT +25%/+50% rows are not derivable\nfrom its own"
                  " linear bucket rule (see EXPERIMENTS.md).\n";
+
+    // The table above is *tree size* (geometry). Which of those bytes
+    // are actually DRAM is a storage-backend property: a DRAM tree is
+    // fully resident, an mmap tree keeps only its touched page set in
+    // memory and the rest on disk. Demonstrate with a real (small)
+    // tree so the distinction stays honest.
+    std::cout << "\nDRAM-resident vs file-backed (measured, "
+              << (1 << 16) << "-entry tree, 128 B payload):\n";
+    {
+        const TreeGeometry geom(1 << 16, 128,
+                                BucketProfile::uniform(*z));
+        const char *treeFile = "table1_resident_demo.tree";
+
+        storage::StorageConfig dramCfg; // default: DRAM
+        oram::ServerStorage dram(geom, 128, false, 1, dramCfg);
+
+        storage::StorageConfig mmapCfg;
+        mmapCfg.kind = storage::BackendKind::MmapFile;
+        mmapCfg.path = treeFile;
+        oram::ServerStorage mapped(geom, 128, false, 1, mmapCfg);
+        mapped.flush();
+        mapped.dropPageCache();
+
+        TextTable res({"backend", "tree bytes", "DRAM-resident"});
+        res.addRow({"dram", TextTable::bytesCell(geom.serverBytes()),
+                    TextTable::bytesCell(dram.residentBytes())});
+        res.addRow({"mmap (cold)",
+                    TextTable::bytesCell(geom.serverBytes()),
+                    TextTable::bytesCell(mapped.residentBytes())});
+        res.print(std::cout);
+        std::remove(treeFile);
+    }
+    std::cout << "\nan mmap tree's resident footprint is its touched "
+                 "page set, not its\nfile size — ServerStorage::"
+                 "residentBytes() reports the measured set.\n";
     return 0;
 }

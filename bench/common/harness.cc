@@ -1,6 +1,11 @@
 #include "common/harness.hh"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "oram/path_oram.hh"
 #include "util/logging.hh"
@@ -154,6 +159,89 @@ printHeader(const std::string &title, const std::string &detail)
               << detail << "\n"
               << "==============================================="
                  "=================\n";
+}
+
+BenchJson::BenchJson(std::string benchName) : name(std::move(benchName))
+{
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream os;
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace
+
+void
+BenchJson::add(const std::string &key, double value)
+{
+    std::ostringstream os;
+    if (std::isfinite(value))
+        os << value;
+    else
+        os << "null"; // JSON has no inf/nan
+    entries.push_back({key, os.str()});
+}
+
+void
+BenchJson::add(const std::string &key, std::uint64_t value)
+{
+    entries.push_back({key, std::to_string(value)});
+}
+
+void
+BenchJson::add(const std::string &key, const std::string &value)
+{
+    entries.push_back({key, "\"" + jsonEscape(value) + "\""});
+}
+
+std::string
+BenchJson::write() const
+{
+    std::string dir;
+    if (const char *env = std::getenv("LAORAM_BENCH_JSON_DIR"))
+        dir = env;
+    std::string path = dir.empty() ? "BENCH_" + name + ".json"
+                                   : dir + "/BENCH_" + name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write bench metrics to ", path);
+        return {};
+    }
+    out << "{\n  \"bench\": \"" << jsonEscape(name) << "\"";
+    for (const Entry &e : entries)
+        out << ",\n  \"" << jsonEscape(e.key) << "\": " << e.rendered;
+    out << "\n}\n";
+    std::cout << "\n[bench-json] wrote " << path << "\n";
+    return path;
 }
 
 std::vector<oram::BlockId>

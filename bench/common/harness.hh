@@ -99,6 +99,38 @@ workload::Trace makeEpochedTrace(workload::DatasetKind kind,
 /** Print a standard bench header line. */
 void printHeader(const std::string &title, const std::string &detail);
 
+/**
+ * Machine-readable bench output: collect flat key/value metrics and
+ * write them as `BENCH_<name>.json` so the perf trajectory (ops/s,
+ * stall breakdown, resident bytes) is trackable across PRs.
+ *
+ * Output directory: $LAORAM_BENCH_JSON_DIR when set, else the current
+ * working directory. Keys keep insertion order; values are numbers or
+ * strings. write() returns the path written (empty on I/O failure —
+ * benches warn but never fail on metrics output).
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string benchName);
+
+    void add(const std::string &key, double value);
+    void add(const std::string &key, std::uint64_t value);
+    void add(const std::string &key, const std::string &value);
+
+    std::string write() const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string rendered; ///< pre-rendered JSON value
+    };
+
+    std::string name;
+    std::vector<Entry> entries;
+};
+
 /** Uniform random trace of @p accesses ids over [0, numBlocks). */
 std::vector<oram::BlockId> randomTrace(std::uint64_t numBlocks,
                                        std::uint64_t accesses,

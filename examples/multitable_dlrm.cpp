@@ -25,6 +25,7 @@
 #include "core/laoram_client.hh"
 #include "core/sharded_laoram.hh"
 #include "oram/path_oram.hh"
+#include "storage/storage_cli.hh"
 #include "train/table_set.hh"
 #include "util/cli.hh"
 #include "workload/dlrm_multi.hh"
@@ -43,6 +44,8 @@ main(int argc, char **argv)
     auto shards = args.addUint("shards", "ORAM trees (tables routed "
                                          "by shardPlan)",
                                4);
+    const auto storageArgs =
+        storage::addStorageArgs(args, "multitable_dlrm.tree");
     args.parse(argc, argv);
 
     const train::TableSet tables =
@@ -77,6 +80,10 @@ main(int argc, char **argv)
     scfg.engine.base.blockBytes = 128;
     scfg.engine.base.profile = oram::BucketProfile::fat(4);
     scfg.engine.base.seed = 7;
+    // Each shard tree derives its own backing file from this path
+    // (shardEngineConfig suffixes the shard seed).
+    scfg.engine.base.storage =
+        storage::storageConfigFromArgs(storageArgs);
     scfg.engine.superblockSize = 8;
     scfg.engine.batchAccesses = tables.numTables() * 16; // 16 samples
     scfg.numShards = numShards;

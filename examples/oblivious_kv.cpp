@@ -16,6 +16,7 @@
 
 #include "oram/path_oram.hh"
 #include "oram/ring_oram.hh"
+#include "storage/storage_cli.hh"
 #include "util/cli.hh"
 
 using namespace laoram;
@@ -64,6 +65,8 @@ main(int argc, char **argv)
     auto keys = args.addUint("keys", "key-space size", 1024);
     auto ring = args.addFlag("ring", "use RingORAM instead of "
                                      "PathORAM");
+    const auto storageArgs =
+        storage::addStorageArgs(args, "oblivious_kv.tree");
     args.parse(argc, argv);
 
     constexpr std::uint64_t kValueBytes = 48;
@@ -74,6 +77,7 @@ main(int argc, char **argv)
     cfg.payloadBytes = kValueBytes;
     cfg.encrypt = true;
     cfg.seed = 1337;
+    cfg.storage = storage::storageConfigFromArgs(storageArgs);
 
     std::unique_ptr<oram::OramEngine> engine;
     if (*ring) {
@@ -83,8 +87,9 @@ main(int argc, char **argv)
     } else {
         engine = std::make_unique<oram::PathOram>(cfg);
     }
-    std::cout << "oblivious KV over " << engine->name() << ", "
-              << *keys << " keys, ChaCha20 at rest\n\n";
+    std::cout << "oblivious KV over " << engine->name() << ", " << *keys
+              << " keys, ChaCha20 at rest, tree on "
+              << storage::backendKindName(cfg.storage.kind) << "\n\n";
 
     ObliviousKv kv(*engine, kValueBytes);
 

@@ -9,27 +9,11 @@
 
 #include "util/bounded_queue.hh"
 #include "util/logging.hh"
+#include "util/walltime.hh"
 
 namespace laoram::core {
 
 namespace {
-
-/**
- * Wall-clock timekeeping stays in steady_clock time_points and
- * integer-nanosecond durations until the final report: folding
- * time-since-epoch into a double loses integer precision past 2^53 ns
- * (~104 days of uptime), after which delta quantization corrupts the
- * stall/fill accounting. Doubles appear only in PipelineReport.
- */
-using WallClock = std::chrono::steady_clock;
-
-std::int64_t
-elapsedNs(WallClock::time_point from, WallClock::time_point to)
-{
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               to - from)
-        .count();
-}
 
 /** What travels over the pipeline queue: a schedule + its prep cost. */
 struct PreparedWindow
@@ -106,6 +90,8 @@ BatchPipeline::runSimulated(const std::vector<BlockId> &trace)
     std::vector<double> prepNs;
     std::vector<double> accessNs;
 
+    const storage::IoStats ioBefore =
+        engine.storageForAudit().ioStats();
     for (std::uint64_t start = 0; start < trace.size();
          start += cfg.windowAccesses) {
         const std::uint64_t stop = std::min<std::uint64_t>(
@@ -125,6 +111,10 @@ BatchPipeline::runSimulated(const std::vector<BlockId> &trace)
                            - before);
     }
 
+    rep.wallIoNs = static_cast<double>(engine.storageForAudit()
+                                           .ioStats()
+                                           .since(ioBefore)
+                                           .totalNs());
     finishModeledReport(rep, prepNs, accessNs);
     return rep;
 }
@@ -135,6 +125,9 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
     PipelineReport rep;
     BoundedQueue<PreparedWindow> queue(cfg.queueDepth);
     std::exception_ptr prepError;
+
+    const storage::IoStats ioBefore =
+        engine.storageForAudit().ioStats();
 
     const WallClock::time_point runStart = WallClock::now();
 
@@ -219,6 +212,17 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
 
     rep.wallFillNs = static_cast<double>(fillNs);
     rep.wallStallNs = static_cast<double>(stallNs);
+    // Measured backend I/O during the serve stage: the serving thread
+    // is the only storage client, so the delta over this run is its
+    // genuine I/O component.
+    rep.wallIoNs = static_cast<double>(engine.storageForAudit()
+                                           .ioStats()
+                                           .since(ioBefore)
+                                           .totalNs());
+    if (rep.wallServeNs > 0.0) {
+        rep.ioServeFraction =
+            std::clamp(rep.wallIoNs / rep.wallServeNs, 0.0, 1.0);
+    }
     rep.wallTotalNs =
         static_cast<double>(elapsedNs(runStart, WallClock::now()));
     std::int64_t prepTotalNs = 0;

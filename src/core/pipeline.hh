@@ -90,6 +90,23 @@ struct PipelineReport
     double wallTotalNs = 0.0;  ///< end-to-end run() wall time
     double wallFillNs = 0.0;   ///< serve-thread wait for window 0
     double wallStallNs = 0.0;  ///< serve-thread waits after the fill
+
+    // ---- Measured backend I/O (real storage work; both modes). ----
+    /**
+     * Measured wall time the serving stage spent inside the storage
+     * backend (slot reads/writes/flushes) over this run — the first
+     * stall component that is *genuine I/O wait* rather than queue
+     * wait. DRAM-backed runs report the in-memory encode/decode cost;
+     * file-backed runs include the page faults that pull tree nodes
+     * from disk.
+     */
+    double wallIoNs = 0.0;
+    /**
+     * Share of the serving thread's busy time spent in backend I/O
+     * (wallIoNs / wallServeNs, Concurrent mode; 0 in Simulated mode
+     * where no serve wall time is measured).
+     */
+    double ioServeFraction = 0.0;
     /**
      * Measured counterpart of prepHiddenFraction: of the wall-clock
      * preprocessing time that *could* overlap serving (everything

@@ -232,6 +232,7 @@ ShardedLaoram::runTrace(const std::vector<BlockId> &trace)
         rep.aggregate.wallServeNs += sr.pipeline.wallServeNs;
         rep.aggregate.wallFillNs += sr.pipeline.wallFillNs;
         rep.aggregate.wallStallNs += sr.pipeline.wallStallNs;
+        rep.aggregate.wallIoNs += sr.pipeline.wallIoNs;
         rep.traffic += sr.traffic;
         rep.simNs = std::max(rep.simNs, sr.simNs);
         rep.simTotalNs += sr.simNs;
@@ -256,6 +257,15 @@ ShardedLaoram::runTrace(const std::vector<BlockId> &trace)
     if (wallWeight > 0.0)
         rep.aggregate.measuredPrepHiddenFraction =
             wallHidden / wallWeight;
+    // Pool-wide I/O share of serve time: total backend I/O over total
+    // serve wall time (equivalently the serve-weighted average of the
+    // per-shard fractions).
+    if (rep.aggregate.wallServeNs > 0.0) {
+        rep.aggregate.ioServeFraction =
+            std::clamp(rep.aggregate.wallIoNs
+                           / rep.aggregate.wallServeNs,
+                       0.0, 1.0);
+    }
     return rep;
 }
 

@@ -52,6 +52,29 @@ Encryptor::decryptSlot(std::uint64_t slot, std::uint8_t *data,
     ChaCha20::xorStream(key, nonceFor(slot, epochs[slot]), 0, data, len);
 }
 
+std::array<std::uint8_t, kKeyCheckBytes>
+Encryptor::keyCheck() const
+{
+    std::array<std::uint8_t, kKeyCheckBytes> out{};
+    if (!isEnabled)
+        return out;
+    // Slot index all-ones is unreachable by record writes (slots are
+    // bounded by epochs.size()), so this nonce never collides with a
+    // record keystream.
+    ChaCha20::xorStream(key, nonceFor(~std::uint64_t{0}, 0), 0,
+                        out.data(), out.size());
+    return out;
+}
+
+void
+Encryptor::restoreEpochs(const std::uint32_t *data, std::uint64_t count)
+{
+    LAORAM_ASSERT(isEnabled, "restoring epochs on a disabled encryptor");
+    LAORAM_ASSERT(count == epochs.size(), "epoch table holds ", count,
+                  " entries, storage has ", epochs.size(), " slots");
+    epochs.assign(data, data + count);
+}
+
 Key256
 Encryptor::deriveKey(std::uint64_t seed)
 {

@@ -13,12 +13,16 @@
 #ifndef LAORAM_CRYPTO_ENCRYPTOR_HH
 #define LAORAM_CRYPTO_ENCRYPTOR_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "crypto/chacha20.hh"
 
 namespace laoram::crypto {
+
+/** Size of the key-check canary (see Encryptor::keyCheck). */
+inline constexpr std::size_t kKeyCheckBytes = 16;
 
 /**
  * Encrypts/decrypts slot-sized byte buffers in place.
@@ -52,6 +56,24 @@ class Encryptor
 
     /** Derive a key from a 64-bit seed (tests / examples convenience). */
     static Key256 deriveKey(std::uint64_t seed);
+
+    /**
+     * Epoch-table persistence (nonces are not secret): a persistent
+     * storage backend saves the table alongside the slot data so an
+     * encrypted tree still decrypts after a process restart.
+     */
+    const std::uint32_t *epochData() const { return epochs.data(); }
+    std::uint64_t epochCount() const { return epochs.size(); }
+    void restoreEpochs(const std::uint32_t *data, std::uint64_t count);
+
+    /**
+     * Deterministic key fingerprint: the keystream for a reserved
+     * nonce (slot = all-ones, epoch = 0) that no record write can
+     * ever use. Persisted next to the epoch table so a reopen under
+     * the wrong key fails loudly instead of silently serving
+     * garbage records.
+     */
+    std::array<std::uint8_t, kKeyCheckBytes> keyCheck() const;
 
   private:
     Encryptor(); // disabled-mode constructor

@@ -15,6 +15,11 @@ shardEngineConfig(const EngineConfig &base, std::uint64_t shardBlocks,
     EngineConfig cfg = base;
     cfg.numBlocks = shardBlocks;
     cfg.seed = shardSeed;
+    // Every shard tree needs its own backing file; the shard seed is
+    // a stable pure function of (base seed, shard), so a standalone
+    // reference engine derives the identical path.
+    if (!cfg.storage.path.empty())
+        cfg.storage.path += ".shard-" + std::to_string(shardSeed);
     return cfg;
 }
 
@@ -49,11 +54,31 @@ OramEngine::runTrace(const std::vector<BlockId> &trace)
 
 TreeOramBase::TreeOramBase(const EngineConfig &cfg)
     : OramEngine(cfg),
-      storage_(geom, cfg.payloadBytes, cfg.encrypt, cfg.seed ^ 0xC0FFEE),
+      storage_(geom, cfg.payloadBytes, cfg.encrypt, cfg.seed ^ 0xC0FFEE,
+               cfg.storage),
       posmap_(cfg.numBlocks, geom.numLeaves(), rng),
       stash_(),
       pathIo_(geom, storage_, stash_)
 {
+    requireFreshStorage(storage_);
+}
+
+void
+requireFreshStorage(const ServerStorage &storage)
+{
+    // An engine's trusted client state (position map, stash) lives in
+    // memory; a reopened tree's records are mapped against a client
+    // state that no longer exists, so serving it would return garbage
+    // (or trip the tree/stash duplication invariant mid-path). Refuse
+    // loudly until client-state persistence lands; reopen stays fully
+    // supported at the ServerStorage level.
+    if (storage.reopened()) {
+        LAORAM_FATAL(
+            "storage.keepExisting reopened an existing tree, but ORAM "
+            "engines keep their position map and stash in memory and "
+            "cannot serve a previous run's tree; drop keepExisting "
+            "(or delete the tree file) to start fresh");
+    }
 }
 
 void

@@ -40,6 +40,12 @@ struct EngineConfig
     bool encrypt = false;            ///< ChaCha20 at-rest encryption
     std::uint64_t seed = 1;          ///< master RNG seed
     mem::CostModelParams cost{};     ///< latency/bandwidth model
+
+    /**
+     * Where the tree's slot records physically live: DRAM (default)
+     * or a persistent mmap file. See storage::StorageConfig.
+     */
+    storage::StorageConfig storage{};
 };
 
 /**
@@ -47,9 +53,11 @@ struct EngineConfig
  * same knobs (block size, bucket profile, water marks, cost model),
  * but covering only @p shardBlocks blocks — so each shard's tree
  * geometry shrinks with its slice of the id space — and seeded with
- * the shard's own @p shardSeed. The result is exactly the config a
- * standalone engine over that sub-space would use, which is what makes
- * sharded runs reproducible against unsharded per-shard references.
+ * the shard's own @p shardSeed. A file-backed storage path is suffixed
+ * with the shard seed so every shard tree maps its own file. The
+ * result is exactly the config a standalone engine over that
+ * sub-space would use, which is what makes sharded runs reproducible
+ * against unsharded per-shard references.
  */
 EngineConfig shardEngineConfig(const EngineConfig &base,
                                std::uint64_t shardBlocks,
@@ -122,6 +130,15 @@ class OramEngine
     mem::TrafficMeter mtr;
     Rng rng;
 };
+
+/**
+ * Fatal when @p storage attached to a previous run's tree
+ * (keepExisting): engines keep their position map and stash in
+ * memory, so a reopened tree cannot be served until client-state
+ * persistence exists. Every engine that owns a ServerStorage calls
+ * this from its constructor.
+ */
+void requireFreshStorage(const ServerStorage &storage);
 
 /**
  * Shared machinery for the PathORAM-family engines: server storage,

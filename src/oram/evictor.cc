@@ -16,28 +16,42 @@ PathIo::PathIo(const TreeGeometry &geom, ServerStorage &storage,
     byLevel.resize(geom.numLevels());
 }
 
-std::uint64_t
-PathIo::readPath(Leaf leaf)
+void
+PathIo::gatherPathSlots(Leaf leaf)
 {
-    std::uint64_t absorbed = 0;
     for (unsigned level = 0; level < geom.numLevels(); ++level) {
         const NodeIndex node = geom.pathNode(leaf, level);
         const std::uint64_t base = geom.nodeSlotBase(node);
         const std::uint64_t z = geom.bucketSize(level);
-        for (std::uint64_t s = 0; s < z; ++s) {
-            storage.readSlot(base + s, scratch);
-            if (scratch.isDummy())
-                continue;
-            // A block must never be duplicated between tree and stash.
-            LAORAM_ASSERT(!stash.contains(scratch.id),
-                          "block ", scratch.id,
-                          " found in tree while stashed");
-            stash.put(scratch.id, scratch.leaf,
-                      std::move(scratch.payload));
-            ++absorbed;
-        }
+        for (std::uint64_t s = 0; s < z; ++s)
+            slotScratch.push_back(base + s);
+    }
+}
+
+std::uint64_t
+PathIo::absorbGatheredSlots()
+{
+    storage.readSlots(slotScratch.data(), slotScratch.size(),
+                      blockScratch);
+    std::uint64_t absorbed = 0;
+    for (StoredBlock &b : blockScratch) {
+        if (b.isDummy())
+            continue;
+        // A block must never be duplicated between tree and stash.
+        LAORAM_ASSERT(!stash.contains(b.id), "block ", b.id,
+                      " found in tree while stashed");
+        stash.put(b.id, b.leaf, std::move(b.payload));
+        ++absorbed;
     }
     return absorbed;
+}
+
+std::uint64_t
+PathIo::readPath(Leaf leaf)
+{
+    slotScratch.clear();
+    gatherPathSlots(leaf);
+    return absorbGatheredSlots();
 }
 
 std::uint64_t
@@ -57,6 +71,12 @@ PathIo::writePath(Leaf leaf)
         byLevel[geom.commonLevel(entry.leaf, leaf)].push_back(id);
     }
 
+    // Plan the whole path as one vectored write: real blocks reference
+    // their stash payloads in place, untaken slots become dummies. The
+    // stash entries are erased only after the storage op, so every
+    // payload pointer stays valid for the write.
+    writeScratch.clear();
+    evictedScratch.clear();
     std::uint64_t written = 0;
     for (unsigned level = levels; level-- > 0;) {
         // Blocks eligible at deeper levels that did not fit spill into
@@ -73,16 +93,20 @@ PathIo::writePath(Leaf leaf)
             pool.pop_back();
             StashEntry *entry = stash.find(id);
             LAORAM_ASSERT(entry, "stash entry vanished during eviction");
-            storage.writeSlot(base + filled, id, entry->leaf,
-                              entry->payload.data(),
-                              entry->payload.size());
-            stash.erase(id);
+            writeScratch.push_back({base + filled, id, entry->leaf,
+                                    entry->payload.data(),
+                                    entry->payload.size()});
+            evictedScratch.push_back(id);
             ++filled;
             ++written;
         }
         for (std::uint64_t s = filled; s < z; ++s)
-            storage.writeDummy(base + s);
+            writeScratch.push_back({base + s, kInvalidBlock, 0,
+                                    nullptr, 0});
     }
+    storage.writeSlots(writeScratch.data(), writeScratch.size());
+    for (BlockId id : evictedScratch)
+        stash.erase(id);
     return written;
 }
 
@@ -105,22 +129,15 @@ PathIo::pathUnion(const std::vector<Leaf> &leaves) const
 std::uint64_t
 PathIo::readPathsBatched(const std::vector<Leaf> &leaves)
 {
-    std::uint64_t slots_read = 0;
+    slotScratch.clear();
     for (NodeIndex node : pathUnion(leaves)) {
         const std::uint64_t base = geom.nodeSlotBase(node);
         const std::uint64_t z = geom.bucketSize(geom.nodeLevel(node));
-        for (std::uint64_t s = 0; s < z; ++s) {
-            storage.readSlot(base + s, scratch);
-            ++slots_read;
-            if (scratch.isDummy())
-                continue;
-            LAORAM_ASSERT(!stash.contains(scratch.id),
-                          "block ", scratch.id,
-                          " found in tree while stashed");
-            stash.put(scratch.id, scratch.leaf,
-                      std::move(scratch.payload));
-        }
+        for (std::uint64_t s = 0; s < z; ++s)
+            slotScratch.push_back(base + s);
     }
+    const std::uint64_t slots_read = slotScratch.size();
+    absorbGatheredSlots();
     return slots_read;
 }
 
@@ -162,7 +179,11 @@ PathIo::writePathsBatched(const std::vector<Leaf> &leaves)
     }
 
     // Deepest-first fill; leftovers spill to the parent node, which is
-    // in the union because path unions are ancestor-closed.
+    // in the union because path unions are ancestor-closed. The union
+    // is written as one vectored storage op; stash entries are erased
+    // after it so their payload pointers stay valid for the write.
+    writeScratch.clear();
+    evictedScratch.clear();
     std::uint64_t slots_written = 0;
     for (NodeIndex node : nodes) {
         auto &candidates = pending[node];
@@ -174,14 +195,15 @@ PathIo::writePathsBatched(const std::vector<Leaf> &leaves)
             candidates.pop_back();
             StashEntry *entry = stash.find(id);
             LAORAM_ASSERT(entry, "stash entry vanished during eviction");
-            storage.writeSlot(base + filled, id, entry->leaf,
-                              entry->payload.data(),
-                              entry->payload.size());
-            stash.erase(id);
+            writeScratch.push_back({base + filled, id, entry->leaf,
+                                    entry->payload.data(),
+                                    entry->payload.size()});
+            evictedScratch.push_back(id);
             ++filled;
         }
         for (std::uint64_t s = filled; s < z; ++s)
-            storage.writeDummy(base + s);
+            writeScratch.push_back({base + s, kInvalidBlock, 0,
+                                    nullptr, 0});
         slots_written += z;
 
         if (!candidates.empty() && node != 0) {
@@ -192,6 +214,9 @@ PathIo::writePathsBatched(const std::vector<Leaf> &leaves)
         }
         // Leftovers at the root simply stay in the stash.
     }
+    storage.writeSlots(writeScratch.data(), writeScratch.size());
+    for (BlockId id : evictedScratch)
+        stash.erase(id);
     return slots_written;
 }
 

@@ -82,14 +82,26 @@ class PathIo
     std::vector<NodeIndex> pathUnion(const std::vector<Leaf> &leaves)
         const;
 
+    /** Append every slot of @p leaf's path to slotScratch. */
+    void gatherPathSlots(Leaf leaf);
+
+    /**
+     * Vectored fetch of slotScratch into the stash (one storage op);
+     * returns the number of real blocks absorbed.
+     */
+    std::uint64_t absorbGatheredSlots();
+
     const TreeGeometry &geom;
     ServerStorage &storage;
     Stash &stash;
 
     // Scratch buffers reused across calls to avoid per-path allocation.
-    StoredBlock scratch;
     std::vector<std::vector<BlockId>> byLevel;
     std::vector<BlockId> pool;
+    std::vector<std::uint64_t> slotScratch;
+    std::vector<StoredBlock> blockScratch;
+    std::vector<ServerStorage::SlotWriteOp> writeScratch;
+    std::vector<BlockId> evictedScratch;
 };
 
 /**

@@ -292,11 +292,13 @@ RecursivePositionMap::serverBytes() const
 RecursivePathOram::RecursivePathOram(const EngineConfig &cfg,
                                      const RecursiveConfig &rcfg)
     : OramEngine(cfg),
-      storage_(geom, cfg.payloadBytes, cfg.encrypt, cfg.seed ^ 0x2EC),
+      storage_(geom, cfg.payloadBytes, cfg.encrypt, cfg.seed ^ 0x2EC,
+               cfg.storage),
       stash_(),
       pathIo_(geom, storage_, stash_),
       rpm(cfg.numBlocks, geom.numLeaves(), rcfg, mtr)
 {
+    requireFreshStorage(storage_);
 }
 
 void

@@ -24,10 +24,11 @@ RingOram::RingOram(const RingOramConfig &cfg)
     : OramEngine(withRingProfile(cfg)),
       rcfg(cfg),
       storage_(geom, cfg.base.payloadBytes, cfg.base.encrypt,
-               cfg.base.seed ^ 0x51A6),
+               cfg.base.seed ^ 0x51A6, cfg.base.storage),
       posmap_(cfg.base.numBlocks, geom.numLeaves(), rng),
       buckets(geom.numNodes())
 {
+    requireFreshStorage(storage_);
     LAORAM_ASSERT(rcfg.realZ >= 1, "RingORAM needs realZ >= 1");
     LAORAM_ASSERT(rcfg.evictEvery >= 1, "eviction rate must be >= 1");
     LAORAM_ASSERT(rcfg.realZ + rcfg.dummies <= 255,
@@ -144,29 +145,35 @@ RingOram::earlyReshuffle(NodeIndex node)
     const std::uint64_t base = geom.nodeSlotBase(node);
     const std::uint64_t slotsPerBucket = rcfg.realZ + rcfg.dummies;
 
-    // Pull the still-valid blocks out...
-    std::vector<StoredBlock> live;
-    live.reserve(meta.real.size());
-    for (const auto &[id, off] : meta.real) {
-        StoredBlock b;
-        storage_.readSlot(base + off, b);
-        live.push_back(std::move(b));
-    }
-    // ...and rewrite the bucket wholesale with fresh encryption.
+    // Pull the still-valid blocks out with one vectored read...
+    slotScratch.clear();
+    for (const auto &[id, off] : meta.real)
+        slotScratch.push_back(base + off);
+    storage_.readSlots(slotScratch.data(), slotScratch.size(),
+                       blockScratch);
+    const std::uint64_t liveCount = blockScratch.size();
+
+    // ...and rewrite the bucket wholesale (one vectored write) with
+    // fresh encryption. blockScratch payloads stay alive until the
+    // write completes.
     meta.real.clear();
+    writeScratch.clear();
     for (std::uint64_t i = 0; i < slotsPerBucket; ++i) {
-        if (i < live.size()) {
-            const auto &b = live[i];
-            storage_.writeSlot(base + i, b.id, b.leaf, b.payload.data(),
-                               b.payload.size());
+        if (i < liveCount) {
+            const StoredBlock &b = blockScratch[i];
+            writeScratch.push_back({base + i, b.id, b.leaf,
+                                    b.payload.data(),
+                                    b.payload.size()});
             meta.real.emplace_back(b.id, static_cast<std::uint8_t>(i));
         } else {
-            storage_.writeDummy(base + i);
+            writeScratch.push_back({base + i, kInvalidBlock, 0,
+                                    nullptr, 0});
         }
     }
+    storage_.writeSlots(writeScratch.data(), writeScratch.size());
     meta.unreadSlots = slotsPerBucket;
 
-    mtr.recordReshuffle(live.size() * cfg.blockBytes, live.size(),
+    mtr.recordReshuffle(liveCount * cfg.blockBytes, liveCount,
                         slotsPerBucket * cfg.blockBytes, slotsPerBucket);
 }
 
@@ -175,20 +182,22 @@ RingOram::evictPath(Leaf leaf, bool asDummy)
 {
     const std::uint64_t slotsPerBucket = rcfg.realZ + rcfg.dummies;
 
-    // Read phase: absorb every valid block on the path.
-    std::uint64_t blocksIn = 0;
+    // Read phase: absorb every valid block on the path with one
+    // vectored read over the metadata-known slots.
+    slotScratch.clear();
     for (unsigned level = 0; level < geom.numLevels(); ++level) {
         const NodeIndex node = geom.pathNode(leaf, level);
         auto &meta = buckets[node];
         const std::uint64_t base = geom.nodeSlotBase(node);
-        for (const auto &[id, off] : meta.real) {
-            storage_.readSlot(base + off, scratch);
-            stash_.put(scratch.id, scratch.leaf,
-                       std::move(scratch.payload));
-            ++blocksIn;
-        }
+        for (const auto &[id, off] : meta.real)
+            slotScratch.push_back(base + off);
         meta.real.clear();
     }
+    storage_.readSlots(slotScratch.data(), slotScratch.size(),
+                       blockScratch);
+    const std::uint64_t blocksIn = blockScratch.size();
+    for (StoredBlock &b : blockScratch)
+        stash_.put(b.id, b.leaf, std::move(b.payload));
 
     // Write phase: greedy deepest-first refill, capacity realZ per
     // bucket; remaining slots become fresh dummies.
@@ -198,6 +207,8 @@ RingOram::evictPath(Leaf leaf, bool asDummy)
     for (const auto &[id, entry] : stash_)
         byLevel[geom.commonLevel(entry.leaf, leaf)].push_back(id);
 
+    writeScratch.clear();
+    evictedScratch.clear();
     for (unsigned level = geom.numLevels(); level-- > 0;) {
         for (BlockId id : byLevel[level])
             pool.push_back(id);
@@ -211,18 +222,24 @@ RingOram::evictPath(Leaf leaf, bool asDummy)
             pool.pop_back();
             StashEntry *entry = stash_.find(id);
             LAORAM_ASSERT(entry, "stash entry vanished during eviction");
-            storage_.writeSlot(base + filled, id, entry->leaf,
-                               entry->payload.data(),
-                               entry->payload.size());
+            writeScratch.push_back({base + filled, id, entry->leaf,
+                                    entry->payload.data(),
+                                    entry->payload.size()});
+            evictedScratch.push_back(id);
             meta.real.emplace_back(id,
                                    static_cast<std::uint8_t>(filled));
-            stash_.erase(id);
             ++filled;
         }
         for (std::uint64_t s = filled; s < slotsPerBucket; ++s)
-            storage_.writeDummy(base + s);
+            writeScratch.push_back({base + s, kInvalidBlock, 0,
+                                    nullptr, 0});
         meta.unreadSlots = slotsPerBucket;
     }
+    // One vectored write-back for the whole path; stash entries are
+    // erased only afterwards so the payload pointers stay valid.
+    storage_.writeSlots(writeScratch.data(), writeScratch.size());
+    for (BlockId id : evictedScratch)
+        stash_.erase(id);
 
     const std::uint64_t writeBlocks =
         geom.numLevels() * slotsPerBucket;

@@ -104,6 +104,10 @@ class RingOram final : public OramEngine
     StoredBlock scratch;
     std::vector<std::vector<BlockId>> byLevel;
     std::vector<BlockId> pool;
+    std::vector<std::uint64_t> slotScratch;
+    std::vector<StoredBlock> blockScratch;
+    std::vector<ServerStorage::SlotWriteOp> writeScratch;
+    std::vector<BlockId> evictedScratch;
 };
 
 } // namespace laoram::oram

@@ -1,8 +1,11 @@
 #include "oram/server_storage.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 #include "util/logging.hh"
+#include "util/walltime.hh"
 
 namespace laoram::oram {
 
@@ -24,92 +27,296 @@ loadU64(const std::uint8_t *p)
     return v;
 }
 
+/**
+ * Persisted-meta layout: the 4 B/slot encryption epoch table followed
+ * by the 16 B key-check canary (see Encryptor::keyCheck).
+ */
+std::uint64_t
+metaBytesFor(bool encrypt, std::uint64_t slots)
+{
+    return encrypt
+        ? slots * sizeof(std::uint32_t) + crypto::kKeyCheckBytes
+        : 0;
+}
+
 } // namespace
 
 ServerStorage::ServerStorage(const TreeGeometry &geom,
                              std::uint64_t payloadBytes, bool encrypt,
                              std::uint64_t keySeed)
+    : ServerStorage(geom, payloadBytes, encrypt, keySeed,
+                    storage::StorageConfig{})
+{
+}
+
+ServerStorage::ServerStorage(const TreeGeometry &geom,
+                             std::uint64_t payloadBytes, bool encrypt,
+                             std::uint64_t keySeed,
+                             const storage::StorageConfig &scfg)
+    : ServerStorage(
+          geom, payloadBytes, encrypt, keySeed,
+          storage::makeBackend(scfg, geom.totalSlots(),
+                               kHeaderBytes + payloadBytes,
+                               metaBytesFor(encrypt,
+                                            geom.totalSlots())))
+{
+}
+
+ServerStorage::ServerStorage(
+    const TreeGeometry &geom, std::uint64_t payloadBytes, bool encrypt,
+    std::uint64_t keySeed,
+    std::unique_ptr<storage::SlotBackend> backend)
     : geom(geom),
       payBytes(payloadBytes),
       recBytes(kHeaderBytes + payloadBytes),
       nSlots(geom.totalSlots()),
-      raw(nSlots * recBytes, 0),
+      store(std::move(backend)),
       enc(encrypt
               ? crypto::Encryptor(crypto::Encryptor::deriveKey(keySeed),
                                   nSlots)
               : crypto::Encryptor::makeDisabled())
 {
-    // Every slot starts as a valid (encrypted) dummy record so that the
-    // first read of any path decrypts cleanly.
-    for (std::uint64_t s = 0; s < nSlots; ++s)
-        writeDummy(s);
+    LAORAM_ASSERT(store, "ServerStorage needs a backend");
+    LAORAM_ASSERT(store->slots() == nSlots, "backend holds ",
+                  store->slots(), " slots, geometry needs ", nSlots);
+    LAORAM_ASSERT(store->recordBytes() == recBytes, "backend records ",
+                  store->recordBytes(), " B, storage needs ", recBytes);
+    initialise();
 }
 
-std::uint8_t *
-ServerStorage::slotPtr(std::uint64_t slot)
+ServerStorage::~ServerStorage()
 {
-    LAORAM_ASSERT(slot < nSlots, "slot ", slot, " out of range");
-    return raw.data() + slot * recBytes;
+    flush();
 }
 
-const std::uint8_t *
-ServerStorage::slotPtr(std::uint64_t slot) const
+void
+ServerStorage::initialise()
 {
-    LAORAM_ASSERT(slot < nSlots, "slot ", slot, " out of range");
-    return raw.data() + slot * recBytes;
+    if (store->openedExisting()) {
+        // Reopened persistent tree: records are served as-is; an
+        // encrypted tree additionally restores the epoch table the
+        // previous run persisted, so every slot decrypts under the
+        // nonce it was last written with — after checking the key
+        // canary, so a wrong keySeed fails loudly at reopen instead
+        // of silently decoding garbage records.
+        wasReopened = true;
+        if (enc.enabled()) {
+            const std::uint64_t want = metaBytesFor(true, nSlots);
+            std::vector<std::uint8_t> meta(want, 0);
+            const std::uint64_t got =
+                store->readMeta(meta.data(), want);
+            LAORAM_ASSERT(got == want, "reopened store returned ", got,
+                          " B of epoch metadata, expected ", want);
+            const auto check = enc.keyCheck();
+            if (std::memcmp(meta.data() + want - check.size(),
+                            check.data(), check.size())
+                != 0) {
+                throw std::runtime_error(
+                    "reopened encrypted tree was written under a "
+                    "different key (key-check canary mismatch); "
+                    "refusing to serve garbage records");
+            }
+            enc.restoreEpochs(
+                reinterpret_cast<const std::uint32_t *>(meta.data()),
+                nSlots);
+        }
+        return;
+    }
+
+    // Every slot starts as a valid (encrypted) dummy record so that
+    // the first read of any path decrypts cleanly. Initialised in
+    // vectored chunks — one backend op per chunk, not per slot.
+    constexpr std::uint64_t kInitChunk = 4096;
+    std::vector<SlotWriteOp> ops;
+    for (std::uint64_t base = 0; base < nSlots; base += kInitChunk) {
+        const std::uint64_t stop =
+            std::min(base + kInitChunk, nSlots);
+        ops.clear();
+        for (std::uint64_t s = base; s < stop; ++s) {
+            SlotWriteOp op;
+            op.slot = s;
+            ops.push_back(op);
+        }
+        writeSlots(ops.data(), ops.size());
+    }
+}
+
+void
+ServerStorage::decodePlaintext(const std::uint8_t *rec,
+                               StoredBlock &out) const
+{
+    out.id = loadU64(rec);
+    out.leaf = loadU64(rec + 8);
+    out.payload.assign(rec + kHeaderBytes, rec + recBytes);
+}
+
+void
+ServerStorage::decodeRecord(std::uint64_t slot, const std::uint8_t *rec,
+                            StoredBlock &out) const
+{
+    if (enc.enabled()) {
+        // Decrypt into a scratch copy; the at-rest bytes stay
+        // encrypted.
+        cryptScratch.assign(rec, rec + recBytes);
+        enc.decryptSlot(slot, cryptScratch.data(), cryptScratch.size());
+        rec = cryptScratch.data();
+    }
+    decodePlaintext(rec, out);
+}
+
+void
+ServerStorage::decodeStagedInPlace(std::uint64_t slot,
+                                   std::uint8_t *rec,
+                                   StoredBlock &out) const
+{
+    if (enc.enabled())
+        enc.decryptSlot(slot, rec, recBytes);
+    decodePlaintext(rec, out);
+}
+
+void
+ServerStorage::encodeRecord(const SlotWriteOp &op, std::uint8_t *rec)
+{
+    LAORAM_ASSERT(op.len <= payBytes, "payload (", op.len,
+                  " B) exceeds slot payload capacity (", payBytes,
+                  " B)");
+    storeU64(rec, op.id);
+    storeU64(rec + 8, op.leaf);
+    if (payBytes > 0) {
+        if (op.len > 0)
+            std::memcpy(rec + kHeaderBytes, op.payload, op.len);
+        if (op.len < payBytes)
+            std::memset(rec + kHeaderBytes + op.len, 0,
+                        payBytes - op.len);
+    }
+    enc.encryptSlot(op.slot, rec, recBytes);
 }
 
 void
 ServerStorage::readSlot(std::uint64_t slot, StoredBlock &out) const
 {
+    LAORAM_ASSERT(slot < nSlots, "slot ", slot, " out of range");
     if (sink)
         sink(slot, false);
-    const std::uint8_t *rec = slotPtr(slot);
-    if (enc.enabled()) {
-        // Decrypt into a scratch copy; the at-rest bytes stay encrypted.
-        std::vector<std::uint8_t> tmp(rec, rec + recBytes);
-        enc.decryptSlot(slot, tmp.data(), tmp.size());
-        out.id = loadU64(tmp.data());
-        out.leaf = loadU64(tmp.data() + 8);
-        out.payload.assign(tmp.begin() + kHeaderBytes, tmp.end());
-    } else {
-        out.id = loadU64(rec);
-        out.leaf = loadU64(rec + 8);
-        out.payload.assign(rec + kHeaderBytes, rec + recBytes);
+    if (std::uint8_t *base = store->mappedBase()) {
+        const WallClock::time_point t0 = WallClock::now();
+        decodeRecord(slot, base + slot * recBytes, out);
+        store->noteMappedRead(1, elapsedNs(t0));
+        return;
     }
+    staging.resize(recBytes);
+    store->readSlot(slot, staging.data());
+    decodeStagedInPlace(slot, staging.data(), out);
 }
 
 void
 ServerStorage::writeSlot(std::uint64_t slot, BlockId id, Leaf leaf,
                          const std::uint8_t *payload, std::size_t len)
 {
-    LAORAM_ASSERT(len <= payBytes, "payload (", len,
-                  " B) exceeds slot payload capacity (", payBytes, " B)");
+    LAORAM_ASSERT(slot < nSlots, "slot ", slot, " out of range");
     if (sink)
         sink(slot, true);
-    std::uint8_t *rec = slotPtr(slot);
-    storeU64(rec, id);
-    storeU64(rec + 8, leaf);
-    if (payBytes > 0) {
-        if (len > 0)
-            std::memcpy(rec + kHeaderBytes, payload, len);
-        if (len < payBytes)
-            std::memset(rec + kHeaderBytes + len, 0, payBytes - len);
+    SlotWriteOp op;
+    op.slot = slot;
+    op.id = id;
+    op.leaf = leaf;
+    op.payload = payload;
+    op.len = len;
+    if (std::uint8_t *base = store->mappedBase()) {
+        const WallClock::time_point t0 = WallClock::now();
+        encodeRecord(op, base + slot * recBytes);
+        store->noteMappedWrite(1, elapsedNs(t0));
+        return;
     }
-    enc.encryptSlot(slot, rec, recBytes);
+    staging.resize(recBytes);
+    encodeRecord(op, staging.data());
+    store->writeSlot(slot, staging.data());
 }
 
 void
 ServerStorage::writeDummy(std::uint64_t slot)
 {
-    if (sink)
-        sink(slot, true);
-    std::uint8_t *rec = slotPtr(slot);
-    storeU64(rec, kInvalidBlock);
-    storeU64(rec + 8, 0);
-    if (payBytes > 0)
-        std::memset(rec + kHeaderBytes, 0, payBytes);
-    enc.encryptSlot(slot, rec, recBytes);
+    writeSlot(slot, kInvalidBlock, 0, nullptr, 0);
+}
+
+void
+ServerStorage::readSlots(const std::uint64_t *slots, std::size_t n,
+                         std::vector<StoredBlock> &out) const
+{
+    // One branch per *path* when no sink is installed — the audit tap
+    // only costs per-slot work while a probe is actually attached.
+    if (sink) {
+        for (std::size_t i = 0; i < n; ++i)
+            sink(slots[i], false);
+    }
+    out.resize(n);
+    if (std::uint8_t *base = store->mappedBase()) {
+        store->willNeed(slots, n);
+        const WallClock::time_point t0 = WallClock::now();
+        for (std::size_t i = 0; i < n; ++i) {
+            LAORAM_ASSERT(slots[i] < nSlots, "slot ", slots[i],
+                          " out of range");
+            decodeRecord(slots[i], base + slots[i] * recBytes, out[i]);
+        }
+        store->noteMappedRead(n, elapsedNs(t0));
+        return;
+    }
+    staging.resize(n * recBytes);
+    store->readSlots(slots, n, staging.data());
+    for (std::size_t i = 0; i < n; ++i)
+        decodeStagedInPlace(slots[i], staging.data() + i * recBytes,
+                            out[i]);
+}
+
+void
+ServerStorage::writeSlots(const SlotWriteOp *ops, std::size_t n)
+{
+    if (sink) {
+        for (std::size_t i = 0; i < n; ++i)
+            sink(ops[i].slot, true);
+    }
+    if (std::uint8_t *base = store->mappedBase()) {
+        const WallClock::time_point t0 = WallClock::now();
+        for (std::size_t i = 0; i < n; ++i) {
+            LAORAM_ASSERT(ops[i].slot < nSlots, "slot ", ops[i].slot,
+                          " out of range");
+            encodeRecord(ops[i], base + ops[i].slot * recBytes);
+        }
+        store->noteMappedWrite(n, elapsedNs(t0));
+        return;
+    }
+    staging.resize(n * recBytes);
+    slotScratch.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        slotScratch[i] = ops[i].slot;
+        encodeRecord(ops[i], staging.data() + i * recBytes);
+    }
+    store->writeSlots(slotScratch.data(), n, staging.data());
+}
+
+void
+ServerStorage::flush()
+{
+    if (enc.enabled()) {
+        const std::uint64_t want = metaBytesFor(true, nSlots);
+        if (store->metaCapacity() >= want) {
+            // [epoch table][key-check canary]
+            std::vector<std::uint8_t> meta(want, 0);
+            std::memcpy(meta.data(), enc.epochData(),
+                        nSlots * sizeof(std::uint32_t));
+            const auto check = enc.keyCheck();
+            std::memcpy(meta.data() + want - check.size(),
+                        check.data(), check.size());
+            store->writeMeta(meta.data(), want);
+        }
+    }
+    store->flush();
+}
+
+std::uint64_t
+ServerStorage::residentBytes() const
+{
+    return store->residentBytes();
 }
 
 } // namespace laoram::oram

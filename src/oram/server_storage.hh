@@ -2,12 +2,20 @@
  * @file
  * The LAORAM *server* — the untrusted CPU-DRAM side of the protocol.
  *
- * Stores the tree as one contiguous slot array. Each slot holds a
- * fixed-size record: [block id (8 B)] [assigned leaf (8 B)] [payload
+ * Stores the tree as a slot array behind a pluggable storage backend
+ * (storage::SlotBackend): DRAM by default, or a persistent mmap file
+ * (storage::StorageConfig selects). Each slot holds a fixed-size
+ * record: [block id (8 B)] [assigned leaf (8 B)] [payload
  * (payloadBytes)]. Records are encrypted at rest with a fresh nonce per
  * write (crypto::Encryptor), so the only information the server-side
  * observer gains is *which slots* are touched — exactly the paper's
  * threat model.
+ *
+ * Path engines talk to storage through the *vectored* readSlots /
+ * writeSlots calls — one per path (union) — so a backend can
+ * coalesce, prefetch or issue one real I/O per path, and the
+ * adversary access sink costs one branch per path instead of one per
+ * slot when no sink is installed.
  *
  * `payloadBytes` is deliberately decoupled from the geometry's logical
  * `blockBytes`: correctness tests run with real payloads, while
@@ -21,11 +29,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "crypto/encryptor.hh"
 #include "oram/tree_geometry.hh"
 #include "oram/types.hh"
+#include "storage/slot_backend.hh"
 
 namespace laoram::oram {
 
@@ -34,6 +44,9 @@ class ServerStorage
 {
   public:
     /**
+     * DRAM-backed storage (the default everywhere a backend is not
+     * explicitly configured).
+     *
      * @param geom         tree geometry (not owned; must outlive)
      * @param payloadBytes bytes of payload physically stored per block
      * @param encrypt      encrypt records at rest (ChaCha20)
@@ -41,6 +54,21 @@ class ServerStorage
      */
     ServerStorage(const TreeGeometry &geom, std::uint64_t payloadBytes,
                   bool encrypt, std::uint64_t keySeed = 0);
+
+    /** Storage with the backend described by @p scfg. */
+    ServerStorage(const TreeGeometry &geom, std::uint64_t payloadBytes,
+                  bool encrypt, std::uint64_t keySeed,
+                  const storage::StorageConfig &scfg);
+
+    /** Storage over a caller-built backend (tests, custom stores). */
+    ServerStorage(const TreeGeometry &geom, std::uint64_t payloadBytes,
+                  bool encrypt, std::uint64_t keySeed,
+                  std::unique_ptr<storage::SlotBackend> backend);
+
+    ~ServerStorage();
+
+    ServerStorage(const ServerStorage &) = delete;
+    ServerStorage &operator=(const ServerStorage &) = delete;
 
     std::uint64_t payloadBytes() const { return payBytes; }
     std::uint64_t recordBytes() const { return recBytes; }
@@ -56,11 +84,58 @@ class ServerStorage
     /** Overwrite @p slot with an (encrypted) dummy record. */
     void writeDummy(std::uint64_t slot);
 
+    /** One slot of a vectored write (id == kInvalidBlock => dummy). */
+    struct SlotWriteOp
+    {
+        std::uint64_t slot = 0;
+        BlockId id = kInvalidBlock;
+        Leaf leaf = 0;
+        const std::uint8_t *payload = nullptr;
+        std::size_t len = 0;
+    };
+
+    /**
+     * Vectored path read: fetch @p n slots as one backend operation,
+     * decoding into @p out (resized to n; payload capacity reused
+     * across calls). Slot i of @p slots lands in out[i].
+     */
+    void readSlots(const std::uint64_t *slots, std::size_t n,
+                   std::vector<StoredBlock> &out) const;
+
+    /** Vectored path write-back: apply @p n ops as one backend op. */
+    void writeSlots(const SlotWriteOp *ops, std::size_t n);
+
+    /**
+     * Persist: save the encryption epoch table into the backend's
+     * meta region (persistent backends) and apply its durability
+     * policy. Called automatically on destruction.
+     */
+    void flush();
+
     /** Number of physical slots (== geometry().totalSlots()). */
     std::uint64_t slots() const { return nSlots; }
 
-    /** Actual resident bytes of this storage (for footprint reports). */
-    std::uint64_t residentBytes() const { return raw.size(); }
+    /**
+     * DRAM-resident bytes of this storage, as reported by the
+     * backend: the full array for DRAM, the currently-mapped page set
+     * for an mmap tree (its file can dwarf its resident footprint).
+     */
+    std::uint64_t residentBytes() const;
+
+    /** The backend this storage runs on. */
+    const storage::SlotBackend &backend() const { return *store; }
+
+    /** Monotonic backend I/O ledger (measured ns, ops, bytes). */
+    const storage::IoStats &ioStats() const { return store->ioStats(); }
+
+    /** Drop the backend's clean pages (cold-cache benching). */
+    void dropPageCache() { store->dropPageCache(); }
+
+    /**
+     * True when construction attached to an existing persistent tree
+     * (slots kept as-is, epochs restored) instead of dummy-initing.
+     */
+    bool reopened() const { return wasReopened; }
 
     /**
      * Adversary's-eye view for security tests: called with
@@ -71,16 +146,44 @@ class ServerStorage
     void setAccessSink(AccessSink sink) { this->sink = std::move(sink); }
 
   private:
-    std::uint8_t *slotPtr(std::uint64_t slot);
-    const std::uint8_t *slotPtr(std::uint64_t slot) const;
+    void initialise();
+
+    /** Decode one already-plaintext record into @p out. */
+    void decodePlaintext(const std::uint8_t *rec,
+                         StoredBlock &out) const;
+
+    /**
+     * Decode an at-rest record the storage still owns (mapped path):
+     * decrypts into scratch so the stored bytes stay encrypted.
+     */
+    void decodeRecord(std::uint64_t slot, const std::uint8_t *rec,
+                      StoredBlock &out) const;
+
+    /**
+     * Decode an at-rest record in a caller-owned staging buffer
+     * (staged path): decrypts in place, no extra copy.
+     */
+    void decodeStagedInPlace(std::uint64_t slot, std::uint8_t *rec,
+                             StoredBlock &out) const;
+
+    /** Serialise one write op into @p rec and encrypt in place. */
+    void encodeRecord(const SlotWriteOp &op, std::uint8_t *rec);
 
     const TreeGeometry &geom;
     std::uint64_t payBytes;
     std::uint64_t recBytes;
     std::uint64_t nSlots;
-    std::vector<std::uint8_t> raw;
+    std::unique_ptr<storage::SlotBackend> store;
     mutable crypto::Encryptor enc;
     AccessSink sink;
+    bool wasReopened = false;
+
+    // Staging scratch, reused across calls to avoid per-path
+    // allocation: decrypt copies (mapped path) and whole-path record
+    // buffers + slot lists (staged path).
+    mutable std::vector<std::uint8_t> cryptScratch;
+    mutable std::vector<std::uint8_t> staging;
+    std::vector<std::uint64_t> slotScratch;
 };
 
 } // namespace laoram::oram

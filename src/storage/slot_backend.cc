@@ -1,0 +1,180 @@
+#include "storage/slot_backend.hh"
+
+#include "storage/dram_backend.hh"
+#include "storage/mmap_backend.hh"
+#include "util/logging.hh"
+#include "util/walltime.hh"
+
+namespace laoram::storage {
+
+IoStats
+IoStats::since(const IoStats &start) const
+{
+    IoStats d;
+    d.readOps = readOps - start.readOps;
+    d.writeOps = writeOps - start.writeOps;
+    d.slotsRead = slotsRead - start.slotsRead;
+    d.slotsWritten = slotsWritten - start.slotsWritten;
+    d.bytesRead = bytesRead - start.bytesRead;
+    d.bytesWritten = bytesWritten - start.bytesWritten;
+    d.flushes = flushes - start.flushes;
+    d.readNs = readNs - start.readNs;
+    d.writeNs = writeNs - start.writeNs;
+    d.flushNs = flushNs - start.flushNs;
+    return d;
+}
+
+IoStats &
+IoStats::operator+=(const IoStats &other)
+{
+    readOps += other.readOps;
+    writeOps += other.writeOps;
+    slotsRead += other.slotsRead;
+    slotsWritten += other.slotsWritten;
+    bytesRead += other.bytesRead;
+    bytesWritten += other.bytesWritten;
+    flushes += other.flushes;
+    readNs += other.readNs;
+    writeNs += other.writeNs;
+    flushNs += other.flushNs;
+    return *this;
+}
+
+const char *
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Dram:
+        return "dram";
+      case BackendKind::MmapFile:
+        return "mmap";
+    }
+    return "?";
+}
+
+SlotBackend::SlotBackend(std::uint64_t slots, std::uint64_t recordBytes)
+    : nSlots(slots), recBytes(recordBytes)
+{
+    LAORAM_ASSERT(recBytes > 0, "slot records cannot be empty");
+}
+
+void
+SlotBackend::readSlot(std::uint64_t slot, std::uint8_t *dst)
+{
+    LAORAM_ASSERT(slot < nSlots, "slot ", slot, " out of range");
+    const WallClock::time_point t0 = WallClock::now();
+    doReadSlot(slot, dst);
+    stats.readNs += elapsedNs(t0);
+    ++stats.readOps;
+    ++stats.slotsRead;
+    stats.bytesRead += recBytes;
+}
+
+void
+SlotBackend::writeSlot(std::uint64_t slot, const std::uint8_t *src)
+{
+    LAORAM_ASSERT(slot < nSlots, "slot ", slot, " out of range");
+    const WallClock::time_point t0 = WallClock::now();
+    doWriteSlot(slot, src);
+    stats.writeNs += elapsedNs(t0);
+    ++stats.writeOps;
+    ++stats.slotsWritten;
+    stats.bytesWritten += recBytes;
+}
+
+void
+SlotBackend::readSlots(const std::uint64_t *slots, std::size_t n,
+                       std::uint8_t *dst)
+{
+    if (n == 0)
+        return;
+    const WallClock::time_point t0 = WallClock::now();
+    doReadSlots(slots, n, dst);
+    stats.readNs += elapsedNs(t0);
+    ++stats.readOps;
+    stats.slotsRead += n;
+    stats.bytesRead += n * recBytes;
+}
+
+void
+SlotBackend::writeSlots(const std::uint64_t *slots, std::size_t n,
+                        const std::uint8_t *src)
+{
+    if (n == 0)
+        return;
+    const WallClock::time_point t0 = WallClock::now();
+    doWriteSlots(slots, n, src);
+    stats.writeNs += elapsedNs(t0);
+    ++stats.writeOps;
+    stats.slotsWritten += n;
+    stats.bytesWritten += n * recBytes;
+}
+
+void
+SlotBackend::flush()
+{
+    const WallClock::time_point t0 = WallClock::now();
+    doFlush();
+    stats.flushNs += elapsedNs(t0);
+    ++stats.flushes;
+}
+
+void
+SlotBackend::noteMappedRead(std::uint64_t slotCount, std::int64_t ns)
+{
+    ++stats.readOps;
+    stats.slotsRead += slotCount;
+    stats.bytesRead += slotCount * recBytes;
+    stats.readNs += ns;
+}
+
+void
+SlotBackend::noteMappedWrite(std::uint64_t slotCount, std::int64_t ns)
+{
+    ++stats.writeOps;
+    stats.slotsWritten += slotCount;
+    stats.bytesWritten += slotCount * recBytes;
+    stats.writeNs += ns;
+}
+
+void
+SlotBackend::doReadSlots(const std::uint64_t *slots, std::size_t n,
+                         std::uint8_t *dst)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        LAORAM_ASSERT(slots[i] < nSlots, "slot ", slots[i],
+                      " out of range");
+        doReadSlot(slots[i], dst + i * recBytes);
+    }
+}
+
+void
+SlotBackend::doWriteSlots(const std::uint64_t *slots, std::size_t n,
+                          const std::uint8_t *src)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        LAORAM_ASSERT(slots[i] < nSlots, "slot ", slots[i],
+                      " out of range");
+        doWriteSlot(slots[i], src + i * recBytes);
+    }
+}
+
+std::unique_ptr<SlotBackend>
+makeBackend(const StorageConfig &cfg, std::uint64_t slots,
+            std::uint64_t recordBytes, std::uint64_t metaBytes)
+{
+    switch (cfg.kind) {
+      case BackendKind::Dram:
+        return std::make_unique<DramBackend>(slots, recordBytes);
+      case BackendKind::MmapFile:
+        if (cfg.path.empty())
+            LAORAM_FATAL("mmap storage backend requires a file path "
+                         "(StorageConfig::path)");
+        return std::make_unique<MmapFileBackend>(cfg, slots,
+                                                 recordBytes,
+                                                 metaBytes);
+    }
+    LAORAM_PANIC("unreachable backend kind");
+}
+
+} // namespace laoram::storage

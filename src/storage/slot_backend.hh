@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The storage-backend subsystem: where the ORAM tree's slot records
+ * physically live.
+ *
+ * ServerStorage owns serialization and encryption-at-rest; a
+ * SlotBackend owns the *bytes*. Backends store fixed-size records
+ * (recordBytes each) addressed by slot index and come in two flavours:
+ *
+ *  - addressable: the whole slot array is mapped into the process
+ *    (DramBackend, MmapFileBackend). mappedBase() returns the base
+ *    pointer and ServerStorage encodes/decodes records in place —
+ *    zero staging copies, exactly the pre-backend hot path. For a
+ *    file mapping the page faults taken during that decode ARE the
+ *    I/O wait, and they land inside the timed window.
+ *  - staged: mappedBase() returns null and ServerStorage moves bytes
+ *    through the vectored readSlots/writeSlots calls (one call per
+ *    ORAM path), which is the natural shape for a remote KV or block
+ *    device backend to coalesce or batch.
+ *
+ * Every backend keeps an IoStats ledger (ops, slots, bytes, measured
+ * nanoseconds) that the pipeline reports as the serving thread's
+ * genuine I/O stall component.
+ */
+
+#ifndef LAORAM_STORAGE_SLOT_BACKEND_HH
+#define LAORAM_STORAGE_SLOT_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace laoram::storage {
+
+/** Monotonic I/O ledger of one backend (value type; freely copyable). */
+struct IoStats
+{
+    std::uint64_t readOps = 0;   ///< read calls issued (vectored = 1)
+    std::uint64_t writeOps = 0;  ///< write calls issued (vectored = 1)
+    std::uint64_t slotsRead = 0;
+    std::uint64_t slotsWritten = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t flushes = 0;
+    std::int64_t readNs = 0;  ///< measured wall time inside reads
+    std::int64_t writeNs = 0; ///< measured wall time inside writes
+    std::int64_t flushNs = 0; ///< measured wall time inside flush()
+
+    /** Total measured backend time (read + write + flush). */
+    std::int64_t totalNs() const { return readNs + writeNs + flushNs; }
+
+    /** Element-wise difference (this - start), for interval metrics. */
+    IoStats since(const IoStats &start) const;
+
+    /** Element-wise accumulation (shard aggregation). */
+    IoStats &operator+=(const IoStats &other);
+};
+
+/** How flush() pushes a persistent backend's dirty pages to media. */
+enum class Durability
+{
+    Buffered, ///< page cache only; the OS writes back eventually
+    Async,    ///< msync(MS_ASYNC): schedule write-back, don't wait
+    Sync,     ///< msync(MS_SYNC): block until bytes are on media
+};
+
+/** Which SlotBackend implementation a ServerStorage should build. */
+enum class BackendKind
+{
+    Dram,     ///< in-process heap array (default; not persistent)
+    MmapFile, ///< file-backed mmap tree; survives process restart
+};
+
+/** Stable lower-case name for CLI/report output. */
+const char *backendKindName(BackendKind kind);
+
+/** Backend-construction knobs threaded through EngineConfig. */
+struct StorageConfig
+{
+    BackendKind kind = BackendKind::Dram;
+
+    /** Backing file for MmapFile (required; created if missing). */
+    std::string path;
+
+    /** flush() behaviour of a persistent backend. */
+    Durability durability = Durability::Buffered;
+
+    /**
+     * Hint the kernel that slot access is random (madvise MADV_RANDOM)
+     * — true by default because an ORAM's physical access pattern is
+     * uniformly random by construction, so read-ahead only pollutes
+     * the page cache.
+     */
+    bool adviseRandom = true;
+
+    /**
+     * Reopen @p path if it already holds a compatible tree instead of
+     * re-initialising: the storage skips its dummy-slot init and the
+     * previous run's records (and persisted encryption epochs) are
+     * served as-is.
+     */
+    bool keepExisting = false;
+};
+
+/**
+ * Abstract fixed-record slot store. All methods are single-threaded
+ * per instance (each ORAM engine owns exactly one storage).
+ */
+class SlotBackend
+{
+  public:
+    SlotBackend(std::uint64_t slots, std::uint64_t recordBytes);
+    virtual ~SlotBackend() = default;
+
+    SlotBackend(const SlotBackend &) = delete;
+    SlotBackend &operator=(const SlotBackend &) = delete;
+
+    virtual std::string name() const = 0;
+
+    std::uint64_t slots() const { return nSlots; }
+    std::uint64_t recordBytes() const { return recBytes; }
+
+    // ---- Staged I/O (timed + counted; used when mappedBase() is
+    // null, and by conformance tests to exercise any backend). ----
+
+    /** Copy one record out of / into the store. */
+    void readSlot(std::uint64_t slot, std::uint8_t *dst);
+    void writeSlot(std::uint64_t slot, const std::uint8_t *src);
+
+    /**
+     * Vectored path operations: @p dst / @p src hold n records
+     * back-to-back, record i belonging to slots[i]. One call covers
+     * one whole ORAM path (or path union), so a backend can coalesce
+     * adjacent slots, prefetch, or issue one real I/O per path.
+     */
+    void readSlots(const std::uint64_t *slots, std::size_t n,
+                   std::uint8_t *dst);
+    void writeSlots(const std::uint64_t *slots, std::size_t n,
+                    const std::uint8_t *src);
+
+    /** Apply the configured durability policy (no-op for DRAM). */
+    void flush();
+
+    // ---- Addressable fast path. ----
+
+    /**
+     * Base pointer of the mapped slot array (slot s's record lives at
+     * mappedBase() + s * recordBytes()), or null for staged backends.
+     */
+    virtual std::uint8_t *mappedBase() { return nullptr; }
+    const std::uint8_t *
+    mappedBase() const
+    {
+        return const_cast<SlotBackend *>(this)->mappedBase();
+    }
+
+    /**
+     * Prefetch hint issued before a vectored read of @p n slots
+     * (MADV_WILLNEED over the covered ranges for a file mapping).
+     */
+    virtual void
+    willNeed(const std::uint64_t *slots, std::size_t n)
+    {
+        (void)slots;
+        (void)n;
+    }
+
+    /**
+     * Accounting entry points for the mapped fast path: ServerStorage
+     * decodes/encodes records directly in mapped memory and reports
+     * the op here so IoStats stays complete for every backend.
+     */
+    void noteMappedRead(std::uint64_t slotCount, std::int64_t ns);
+    void noteMappedWrite(std::uint64_t slotCount, std::int64_t ns);
+
+    // ---- Introspection / persistence. ----
+
+    /** Bytes of this store currently resident in DRAM. */
+    virtual std::uint64_t residentBytes() const = 0;
+
+    /** True when the slot data outlives the process (file-backed). */
+    virtual bool persistent() const { return false; }
+
+    /**
+     * True when construction attached to an existing compatible store
+     * instead of creating a fresh one (the owner must then skip its
+     * dummy initialisation and restore persisted metadata).
+     */
+    virtual bool openedExisting() const { return false; }
+
+    /** Drop clean pages from the page cache (cold-cache benching). */
+    virtual void dropPageCache() {}
+
+    /**
+     * Small client-metadata blob persisted next to the slot data
+     * (ServerStorage stores its encryption epoch table here so an
+     * encrypted tree decrypts after reopen). Non-persistent backends
+     * expose zero capacity.
+     */
+    virtual std::uint64_t metaCapacity() const { return 0; }
+    virtual void
+    writeMeta(const std::uint8_t *src, std::uint64_t len)
+    {
+        (void)src;
+        (void)len;
+    }
+    virtual std::uint64_t
+    readMeta(std::uint8_t *dst, std::uint64_t len) const
+    {
+        (void)dst;
+        (void)len;
+        return 0;
+    }
+
+    const IoStats &ioStats() const { return stats; }
+
+  protected:
+    /** Single-record transfer; @p slot is already range-checked. */
+    virtual void doReadSlot(std::uint64_t slot, std::uint8_t *dst) = 0;
+    virtual void doWriteSlot(std::uint64_t slot,
+                             const std::uint8_t *src) = 0;
+
+    /** Vectored transfers; default loops the single-slot ops. */
+    virtual void doReadSlots(const std::uint64_t *slots, std::size_t n,
+                             std::uint8_t *dst);
+    virtual void doWriteSlots(const std::uint64_t *slots, std::size_t n,
+                              const std::uint8_t *src);
+
+    virtual void doFlush() {}
+
+    std::uint64_t nSlots;
+    std::uint64_t recBytes;
+    IoStats stats;
+};
+
+/**
+ * Build the backend described by @p cfg for a tree of @p slots
+ * records of @p recordBytes each, reserving @p metaBytes of persisted
+ * metadata capacity (persistent backends only).
+ *
+ * Fatal on an impossible configuration (MmapFile without a path);
+ * throws std::runtime_error when a keepExisting reopen finds an
+ * incompatible file.
+ */
+std::unique_ptr<SlotBackend> makeBackend(const StorageConfig &cfg,
+                                         std::uint64_t slots,
+                                         std::uint64_t recordBytes,
+                                         std::uint64_t metaBytes);
+
+} // namespace laoram::storage
+
+#endif // LAORAM_STORAGE_SLOT_BACKEND_HH

@@ -1,0 +1,55 @@
+#include "storage/storage_cli.hh"
+
+#include "util/logging.hh"
+
+namespace laoram::storage {
+
+StorageArgs
+addStorageArgs(ArgParser &args, const std::string &defaultPath)
+{
+    StorageArgs sa;
+    sa.backend = args.addString(
+        "storage", "tree storage backend: dram | mmap", "dram");
+    sa.path = args.addString(
+        "storage-path", "backing file for --storage=mmap", defaultPath);
+    sa.durability = args.addString(
+        "storage-durability",
+        "mmap flush policy: buffered | async | sync", "buffered");
+    sa.keepExisting = args.addFlag(
+        "storage-keep",
+        "reopen an existing compatible tree file instead of "
+        "re-initialising it");
+    return sa;
+}
+
+StorageConfig
+storageConfigFromArgs(const StorageArgs &sa)
+{
+    StorageConfig cfg;
+    if (*sa.backend == "dram") {
+        cfg.kind = BackendKind::Dram;
+    } else if (*sa.backend == "mmap") {
+        cfg.kind = BackendKind::MmapFile;
+        if (sa.path->empty())
+            LAORAM_FATAL("--storage=mmap requires --storage-path");
+    } else {
+        LAORAM_FATAL("unknown --storage backend '", *sa.backend,
+                     "' (expected dram or mmap)");
+    }
+    cfg.path = *sa.path;
+
+    if (*sa.durability == "buffered")
+        cfg.durability = Durability::Buffered;
+    else if (*sa.durability == "async")
+        cfg.durability = Durability::Async;
+    else if (*sa.durability == "sync")
+        cfg.durability = Durability::Sync;
+    else
+        LAORAM_FATAL("unknown --storage-durability '", *sa.durability,
+                     "' (expected buffered, async or sync)");
+
+    cfg.keepExisting = *sa.keepExisting;
+    return cfg;
+}
+
+} // namespace laoram::storage

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared CLI plumbing for backend selection: every example and bench
+ * that builds an engine registers the same four --storage* options
+ * and turns them into a StorageConfig with one call.
+ */
+
+#ifndef LAORAM_STORAGE_STORAGE_CLI_HH
+#define LAORAM_STORAGE_STORAGE_CLI_HH
+
+#include <memory>
+#include <string>
+
+#include "storage/slot_backend.hh"
+#include "util/cli.hh"
+
+namespace laoram::storage {
+
+/** Parsed --storage* option handles (valid after ArgParser::parse). */
+struct StorageArgs
+{
+    std::shared_ptr<std::string> backend;    ///< dram | mmap
+    std::shared_ptr<std::string> path;       ///< mmap backing file
+    std::shared_ptr<std::string> durability; ///< buffered|async|sync
+    std::shared_ptr<bool> keepExisting;      ///< reopen compatible file
+};
+
+/** Register --storage, --storage-path, --storage-durability,
+ *  --storage-keep on @p args. @p defaultPath seeds --storage-path. */
+StorageArgs addStorageArgs(ArgParser &args,
+                           const std::string &defaultPath = "");
+
+/**
+ * Resolve parsed options into a StorageConfig. Fatal (exit 1) on an
+ * unknown backend or durability name, or mmap without a path.
+ */
+StorageConfig storageConfigFromArgs(const StorageArgs &sa);
+
+} // namespace laoram::storage
+
+#endif // LAORAM_STORAGE_STORAGE_CLI_HH

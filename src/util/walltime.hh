@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared wall-clock timing vocabulary.
+ *
+ * All measured (non-simulated) timing in the library uses
+ * steady_clock time_points and integer-nanosecond durations until the
+ * final report: folding time-since-epoch into a double loses integer
+ * precision past 2^53 ns (~104 days of uptime), after which delta
+ * quantization corrupts stall/fill accounting. Doubles appear only in
+ * report structs.
+ */
+
+#ifndef LAORAM_UTIL_WALLTIME_HH
+#define LAORAM_UTIL_WALLTIME_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace laoram {
+
+using WallClock = std::chrono::steady_clock;
+
+inline std::int64_t
+elapsedNs(WallClock::time_point from, WallClock::time_point to)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               to - from)
+        .count();
+}
+
+inline std::int64_t
+elapsedNs(WallClock::time_point from)
+{
+    return elapsedNs(from, WallClock::now());
+}
+
+} // namespace laoram
+
+#endif // LAORAM_UTIL_WALLTIME_HH

@@ -197,14 +197,22 @@ TEST(ConcurrentPipeline, MeasuredFieldsPopulated)
     EXPECT_GT(rep.wallServeNs, 0.0);
     EXPECT_GE(rep.measuredPrepHiddenFraction, 0.0);
     EXPECT_LE(rep.measuredPrepHiddenFraction, 1.0);
+    // Serving did real storage work, so the measured backend I/O
+    // stall must be populated and bounded by the serve wall time's
+    // fraction invariant.
+    EXPECT_GT(rep.wallIoNs, 0.0);
+    EXPECT_GE(rep.ioServeFraction, 0.0);
+    EXPECT_LE(rep.ioServeFraction, 1.0);
     // No lower bound asserted: the achieved overlap depends on how
     // loaded the machine is (parallel ctest shards this very suite).
     // bench_pipeline_overlap demonstrates >90% hidden on an unloaded
     // host with serving-dominated windows.
 }
 
-TEST(SimulatedPipeline, ReportsNoMeasuredNumbers)
+TEST(SimulatedPipeline, ReportsNoMeasuredThreadNumbers)
 {
+    // Simulated mode spawns no threads, so every wall-clock *stage*
+    // field stays zero...
     Laoram engine(engineConfig());
     BatchPipeline pipe(engine,
                        pipelineConfig(PipelineMode::Simulated));
@@ -212,6 +220,11 @@ TEST(SimulatedPipeline, ReportsNoMeasuredNumbers)
     EXPECT_DOUBLE_EQ(rep.wallTotalNs, 0.0);
     EXPECT_DOUBLE_EQ(rep.wallPrepNs, 0.0);
     EXPECT_DOUBLE_EQ(rep.measuredPrepHiddenFraction, 0.0);
+    // ...but the storage backend did real work in both modes, so its
+    // measured I/O time is populated (only the serve-time *fraction*
+    // needs a measured serve denominator and stays zero).
+    EXPECT_GT(rep.wallIoNs, 0.0);
+    EXPECT_DOUBLE_EQ(rep.ioServeFraction, 0.0);
 }
 
 TEST(ConcurrentPipeline, PrebuiltSchedulesServeIdentically)

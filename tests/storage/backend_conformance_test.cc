@@ -1,0 +1,543 @@
+/**
+ * @file
+ * Backend conformance suite: one parameterized fixture run against
+ * every SlotBackend flavour (DRAM, mmap file, and a staged/
+ * non-addressable reference backend), crossed with encryption on/off
+ * and payloadBytes 0 / >0. Every backend must be observationally
+ * identical through the ServerStorage API — same records, same sink
+ * trace, same vectored/single-slot semantics.
+ *
+ * Plus mmap-specific persistence tests (byte-identical reads after
+ * close/reopen, incompatible-file rejection) and an engine-level
+ * test that backend choice does not change ORAM behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "oram/path_oram.hh"
+#include "oram/server_storage.hh"
+#include "storage/dram_backend.hh"
+#include "storage/mmap_backend.hh"
+#include "util/rng.hh"
+
+namespace laoram::oram {
+namespace {
+
+using storage::BackendKind;
+using storage::SlotBackend;
+using storage::StorageConfig;
+
+/**
+ * Staged reference backend: DRAM semantics but *not* addressable
+ * (mappedBase() == null), so ServerStorage exercises the generic
+ * vectored staging path — the shape a remote-KV backend will use.
+ */
+class StagedBackend final : public SlotBackend
+{
+  public:
+    StagedBackend(std::uint64_t slots, std::uint64_t recordBytes)
+        : SlotBackend(slots, recordBytes), raw(slots * recordBytes, 0)
+    {
+    }
+
+    std::string name() const override { return "staged"; }
+    std::uint64_t residentBytes() const override { return raw.size(); }
+
+  protected:
+    void
+    doReadSlot(std::uint64_t slot, std::uint8_t *dst) override
+    {
+        std::memcpy(dst, raw.data() + slot * recBytes, recBytes);
+    }
+    void
+    doWriteSlot(std::uint64_t slot, const std::uint8_t *src) override
+    {
+        std::memcpy(raw.data() + slot * recBytes, src, recBytes);
+    }
+
+  private:
+    std::vector<std::uint8_t> raw;
+};
+
+enum class Flavor
+{
+    Dram,
+    Mmap,
+    Staged,
+};
+
+const char *
+flavorName(Flavor f)
+{
+    switch (f) {
+      case Flavor::Dram:
+        return "Dram";
+      case Flavor::Mmap:
+        return "Mmap";
+      case Flavor::Staged:
+        return "Staged";
+    }
+    return "?";
+}
+
+using Param = std::tuple<Flavor, bool /*encrypt*/, std::uint64_t
+                         /*payloadBytes*/>;
+
+std::string
+paramName(const ::testing::TestParamInfo<Param> &info)
+{
+    const auto [flavor, encrypt, payload] = info.param;
+    return std::string(flavorName(flavor))
+        + (encrypt ? "Enc" : "Plain") + "P"
+        + std::to_string(payload);
+}
+
+TreeGeometry
+smallGeom()
+{
+    return TreeGeometry(64, 64, BucketProfile::uniform(4));
+}
+
+std::string
+tempPath(const std::string &tag)
+{
+    return ::testing::TempDir() + "laoram_conformance_" + tag + ".tree";
+}
+
+class BackendConformance : public ::testing::TestWithParam<Param>
+{
+  protected:
+    std::unique_ptr<ServerStorage>
+    makeStorage(const TreeGeometry &geom, bool keepExisting = false)
+    {
+        const auto [flavor, encrypt, payload] = GetParam();
+        switch (flavor) {
+          case Flavor::Dram: {
+            StorageConfig scfg;
+            return std::make_unique<ServerStorage>(geom, payload,
+                                                   encrypt, kSeed,
+                                                   scfg);
+          }
+          case Flavor::Mmap: {
+            StorageConfig scfg;
+            scfg.kind = BackendKind::MmapFile;
+            scfg.path = path;
+            scfg.keepExisting = keepExisting;
+            return std::make_unique<ServerStorage>(geom, payload,
+                                                   encrypt, kSeed,
+                                                   scfg);
+          }
+          case Flavor::Staged: {
+            auto backend = std::make_unique<StagedBackend>(
+                geom.totalSlots(), 16 + payload);
+            return std::make_unique<ServerStorage>(
+                geom, payload, encrypt, kSeed, std::move(backend));
+          }
+        }
+        return nullptr;
+    }
+
+    void
+    SetUp() override
+    {
+        path = tempPath(paramName(
+            ::testing::TestParamInfo<Param>(GetParam(), 0)));
+        std::remove(path.c_str());
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::vector<std::uint8_t>
+    somePayload(std::uint8_t fill) const
+    {
+        const auto payload = std::get<2>(GetParam());
+        return std::vector<std::uint8_t>(payload, fill);
+    }
+
+    static constexpr std::uint64_t kSeed = 77;
+    std::string path;
+};
+
+TEST_P(BackendConformance, StartsAllDummies)
+{
+    auto g = smallGeom();
+    auto s = makeStorage(g);
+    StoredBlock b;
+    for (std::uint64_t slot = 0; slot < s->slots(); slot += 17) {
+        s->readSlot(slot, b);
+        EXPECT_TRUE(b.isDummy());
+    }
+}
+
+TEST_P(BackendConformance, SingleSlotRoundTrip)
+{
+    auto g = smallGeom();
+    auto s = makeStorage(g);
+    const auto payload = somePayload(0x3C);
+    s->writeSlot(10, 1234, 7, payload.data(), payload.size());
+    StoredBlock b;
+    s->readSlot(10, b);
+    EXPECT_EQ(b.id, 1234u);
+    EXPECT_EQ(b.leaf, 7u);
+    EXPECT_EQ(b.payload, payload);
+    s->writeDummy(10);
+    s->readSlot(10, b);
+    EXPECT_TRUE(b.isDummy());
+}
+
+TEST_P(BackendConformance, VectoredMatchesSingleSlot)
+{
+    auto g = smallGeom();
+    auto s = makeStorage(g);
+
+    // Vectored write of a real/dummy mix...
+    const auto p1 = somePayload(0x11);
+    const auto p2 = somePayload(0x22);
+    const std::vector<ServerStorage::SlotWriteOp> ops = {
+        {3, 100, 5, p1.data(), p1.size()},
+        {4, kInvalidBlock, 0, nullptr, 0},
+        {9, 200, 9, p2.data(), p2.size()},
+    };
+    s->writeSlots(ops.data(), ops.size());
+
+    // ...reads back identically through both APIs.
+    const std::vector<std::uint64_t> slots = {3, 4, 9};
+    std::vector<StoredBlock> vec;
+    s->readSlots(slots.data(), slots.size(), vec);
+    ASSERT_EQ(vec.size(), 3u);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        StoredBlock single;
+        s->readSlot(slots[i], single);
+        EXPECT_EQ(vec[i].id, single.id);
+        EXPECT_EQ(vec[i].leaf, single.leaf);
+        EXPECT_EQ(vec[i].payload, single.payload);
+    }
+    EXPECT_EQ(vec[0].id, 100u);
+    EXPECT_TRUE(vec[1].isDummy());
+    EXPECT_EQ(vec[2].id, 200u);
+    EXPECT_EQ(vec[2].payload, p2);
+}
+
+TEST_P(BackendConformance, SinkSeesVectoredOpsPerSlotInOrder)
+{
+    auto g = smallGeom();
+    auto s = makeStorage(g);
+    std::vector<std::pair<std::uint64_t, bool>> log;
+    s->setAccessSink([&](std::uint64_t slot, bool write) {
+        log.emplace_back(slot, write);
+    });
+
+    const std::vector<ServerStorage::SlotWriteOp> ops = {
+        {8, 1, 0, nullptr, 0},
+        {2, kInvalidBlock, 0, nullptr, 0},
+    };
+    s->writeSlots(ops.data(), ops.size());
+    const std::vector<std::uint64_t> slots = {5, 8, 2};
+    std::vector<StoredBlock> vec;
+    s->readSlots(slots.data(), slots.size(), vec);
+
+    ASSERT_EQ(log.size(), 5u);
+    EXPECT_EQ(log[0], std::make_pair(std::uint64_t{8}, true));
+    EXPECT_EQ(log[1], std::make_pair(std::uint64_t{2}, true));
+    EXPECT_EQ(log[2], std::make_pair(std::uint64_t{5}, false));
+    EXPECT_EQ(log[3], std::make_pair(std::uint64_t{8}, false));
+    EXPECT_EQ(log[4], std::make_pair(std::uint64_t{2}, false));
+}
+
+TEST_P(BackendConformance, IoStatsCountSlotsAndBytes)
+{
+    auto g = smallGeom();
+    auto s = makeStorage(g);
+    const storage::IoStats before = s->ioStats();
+
+    const std::vector<std::uint64_t> slots = {1, 2, 3, 4, 5};
+    std::vector<StoredBlock> vec;
+    s->readSlots(slots.data(), slots.size(), vec);
+    const std::vector<ServerStorage::SlotWriteOp> ops = {
+        {1, 42, 0, nullptr, 0},
+        {2, kInvalidBlock, 0, nullptr, 0},
+    };
+    s->writeSlots(ops.data(), ops.size());
+
+    const storage::IoStats d = s->ioStats().since(before);
+    EXPECT_EQ(d.readOps, 1u);  // vectored: one op per path
+    EXPECT_EQ(d.slotsRead, 5u);
+    EXPECT_EQ(d.bytesRead, 5 * s->recordBytes());
+    EXPECT_EQ(d.writeOps, 1u);
+    EXPECT_EQ(d.slotsWritten, 2u);
+    EXPECT_EQ(d.bytesWritten, 2 * s->recordBytes());
+    EXPECT_GE(d.readNs, 0);
+    EXPECT_GE(d.writeNs, 0);
+}
+
+TEST_P(BackendConformance, ResidentBytesReported)
+{
+    auto g = smallGeom();
+    auto s = makeStorage(g);
+    // Every slot was dummy-initialised (written), so a DRAM-like
+    // backend reports the full array and an mmap tree at least one
+    // resident page.
+    EXPECT_GT(s->residentBytes(), 0u);
+    if (std::get<0>(GetParam()) != Flavor::Mmap) {
+        EXPECT_EQ(s->residentBytes(),
+                  g.totalSlots() * s->recordBytes());
+    }
+}
+
+TEST_P(BackendConformance, FlushSucceeds)
+{
+    auto g = smallGeom();
+    auto s = makeStorage(g);
+    const storage::IoStats before = s->ioStats();
+    s->flush();
+    EXPECT_EQ(s->ioStats().since(before).flushes, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendConformance,
+    ::testing::Combine(::testing::Values(Flavor::Dram, Flavor::Mmap,
+                                         Flavor::Staged),
+                       ::testing::Bool(),
+                       ::testing::Values(std::uint64_t{0},
+                                         std::uint64_t{32})),
+    paramName);
+
+// ---------------------------------------------------- mmap persistence
+
+class MmapReopen : public ::testing::TestWithParam<bool /*encrypt*/>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = tempPath(GetParam() ? "reopen_enc" : "reopen_plain");
+        std::remove(path.c_str());
+    }
+    void TearDown() override { std::remove(path.c_str()); }
+
+    StorageConfig
+    mmapConfig(bool keepExisting) const
+    {
+        StorageConfig scfg;
+        scfg.kind = BackendKind::MmapFile;
+        scfg.path = path;
+        scfg.keepExisting = keepExisting;
+        return scfg;
+    }
+
+    std::string path;
+};
+
+TEST_P(MmapReopen, ByteIdenticalAfterCloseAndReopen)
+{
+    const bool encrypt = GetParam();
+    auto g = smallGeom();
+    constexpr std::uint64_t kPayload = 24;
+    constexpr std::uint64_t kSeed = 99;
+
+    // Populate a pseudo-random mix of real and dummy slots, some
+    // rewritten several times so encryption epochs diverge per slot.
+    Rng rng(123);
+    std::vector<StoredBlock> expect(g.totalSlots());
+    {
+        ServerStorage s(g, kPayload, encrypt, kSeed,
+                        mmapConfig(false));
+        EXPECT_FALSE(s.reopened());
+        for (int round = 0; round < 3; ++round) {
+            for (std::uint64_t slot = 0; slot < s.slots(); ++slot) {
+                if (rng.nextBounded(3) == 0) {
+                    s.writeDummy(slot);
+                } else {
+                    std::vector<std::uint8_t> payload(kPayload);
+                    for (auto &b : payload)
+                        b = static_cast<std::uint8_t>(
+                            rng.nextBounded(256));
+                    s.writeSlot(slot, rng.nextBounded(1 << 20),
+                                rng.nextBounded(64), payload.data(),
+                                payload.size());
+                }
+            }
+        }
+        for (std::uint64_t slot = 0; slot < s.slots(); ++slot)
+            s.readSlot(slot, expect[slot]);
+        s.flush();
+    } // destructor persists epochs + schedules write-back
+
+    // Reopen from disk: every record must decode byte-identically.
+    ServerStorage s(g, kPayload, encrypt, kSeed, mmapConfig(true));
+    EXPECT_TRUE(s.reopened());
+    StoredBlock b;
+    for (std::uint64_t slot = 0; slot < s.slots(); ++slot) {
+        s.readSlot(slot, b);
+        EXPECT_EQ(b.id, expect[slot].id) << "slot " << slot;
+        EXPECT_EQ(b.leaf, expect[slot].leaf) << "slot " << slot;
+        EXPECT_EQ(b.payload, expect[slot].payload) << "slot " << slot;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(EncryptOnOff, MmapReopen, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool> &i) {
+                             return i.param ? "Encrypted" : "Plain";
+                         });
+
+TEST(MmapBackend, ReopenRejectsIncompatibleGeometry)
+{
+    const std::string path = tempPath("incompatible");
+    std::remove(path.c_str());
+    auto g = smallGeom();
+    {
+        ServerStorage s(g, 16, false, 0,
+                        [&] {
+                            StorageConfig c;
+                            c.kind = BackendKind::MmapFile;
+                            c.path = path;
+                            return c;
+                        }());
+    }
+    // Same file, different record size: must refuse, not clobber.
+    StorageConfig c;
+    c.kind = BackendKind::MmapFile;
+    c.path = path;
+    c.keepExisting = true;
+    EXPECT_THROW(ServerStorage(g, 48, false, 0, c),
+                 std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(MmapBackend, ReopenRejectsWrongEncryptionKey)
+{
+    const std::string path = tempPath("wrongkey");
+    std::remove(path.c_str());
+    auto g = smallGeom();
+    StorageConfig c;
+    c.kind = BackendKind::MmapFile;
+    c.path = path;
+    {
+        ServerStorage s(g, 16, true, /*keySeed=*/1, c);
+        std::vector<std::uint8_t> payload(16, 0x42);
+        s.writeSlot(0, 7, 1, payload.data(), payload.size());
+    }
+    // Same geometry, different key: the key-check canary must reject
+    // the reopen instead of silently decoding garbage records.
+    c.keepExisting = true;
+    EXPECT_THROW(ServerStorage(g, 16, true, /*keySeed=*/2, c),
+                 std::runtime_error);
+    // The right key still reopens fine.
+    ServerStorage s(g, 16, true, 1, c);
+    EXPECT_TRUE(s.reopened());
+    StoredBlock b;
+    s.readSlot(0, b);
+    EXPECT_EQ(b.id, 7u);
+    std::remove(path.c_str());
+}
+
+TEST(MmapBackend, KeepExistingOnMissingFileInitialisesFresh)
+{
+    const std::string path = tempPath("fresh");
+    std::remove(path.c_str());
+    auto g = smallGeom();
+    StorageConfig c;
+    c.kind = BackendKind::MmapFile;
+    c.path = path;
+    c.keepExisting = true;
+    ServerStorage s(g, 8, true, 1, c);
+    EXPECT_FALSE(s.reopened());
+    StoredBlock b;
+    s.readSlot(0, b);
+    EXPECT_TRUE(b.isDummy());
+    std::remove(path.c_str());
+}
+
+TEST(MmapBackend, DropPageCacheKeepsDataReadable)
+{
+    const std::string path = tempPath("coldcache");
+    std::remove(path.c_str());
+    auto g = smallGeom();
+    StorageConfig c;
+    c.kind = BackendKind::MmapFile;
+    c.path = path;
+    c.durability = storage::Durability::Sync;
+    ServerStorage s(g, 32, false, 0, c);
+    std::vector<std::uint8_t> payload(32, 0x77);
+    s.writeSlot(5, 42, 3, payload.data(), payload.size());
+    s.flush();
+
+    const std::uint64_t before = s.residentBytes();
+    s.dropPageCache();
+    EXPECT_LE(s.residentBytes(), before);
+
+    StoredBlock b;
+    s.readSlot(5, b); // faults back in from the file
+    EXPECT_EQ(b.id, 42u);
+    EXPECT_EQ(b.payload, payload);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------- engine-level equivalence
+
+/**
+ * Backend choice must be invisible to the ORAM: the same engine over
+ * DRAM and over an mmap file produces identical payloads AND an
+ * identical physical access trace (the adversary's view).
+ */
+TEST(BackendEquivalence, PathOramIdenticalAcrossBackends)
+{
+    const std::string path = tempPath("equivalence");
+    std::remove(path.c_str());
+
+    auto run = [](const StorageConfig &scfg) {
+        EngineConfig cfg;
+        cfg.numBlocks = 128;
+        cfg.blockBytes = 64;
+        cfg.payloadBytes = 32;
+        cfg.encrypt = true;
+        cfg.seed = 2024;
+        cfg.storage = scfg;
+        PathOram oram(cfg);
+
+        std::vector<std::pair<std::uint64_t, bool>> trace;
+        oram.storageForTest().setAccessSink(
+            [&](std::uint64_t slot, bool write) {
+                trace.emplace_back(slot, write);
+            });
+
+        Rng rng(5);
+        std::vector<std::uint8_t> payloads;
+        for (int i = 0; i < 400; ++i) {
+            const BlockId id = rng.nextBounded(128);
+            if (rng.nextBounded(2) == 0) {
+                std::vector<std::uint8_t> data(
+                    32, static_cast<std::uint8_t>(i));
+                oram.writeBlock(id, data);
+            } else {
+                std::vector<std::uint8_t> out;
+                oram.readBlock(id, out);
+                payloads.insert(payloads.end(), out.begin(),
+                                out.end());
+            }
+        }
+        return std::make_pair(std::move(trace), std::move(payloads));
+    };
+
+    StorageConfig dram;
+    StorageConfig mmap;
+    mmap.kind = BackendKind::MmapFile;
+    mmap.path = path;
+
+    const auto [dramTrace, dramPayloads] = run(dram);
+    const auto [mmapTrace, mmapPayloads] = run(mmap);
+    EXPECT_EQ(dramTrace, mmapTrace);
+    EXPECT_EQ(dramPayloads, mmapPayloads);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace laoram::oram
