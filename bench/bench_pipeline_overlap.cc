@@ -3,8 +3,8 @@
  * Measured two-stage pipeline overlap (paper §VIII-A).
  *
  * Runs the same trace through the Simulated pipeline (analytic cost
- * model) and the Concurrent pipeline (real preprocessor thread +
- * bounded queue + serving thread), and reports the modeled *and* the
+ * model) and the Concurrent pipeline (preprocessor pool + reorder
+ * window + serving thread), and reports the modeled *and* the
  * measured wall-clock prepHiddenFraction side by side. When ORAM
  * serving dominates — the paper's regime — the measured fraction
  * approaches 1.0: preprocessing never stalls the serving thread, i.e.
@@ -13,6 +13,14 @@
  * A queue-depth sweep shows backpressure at work: even depth 1
  * (strict lock-step hand-off) completes with identical ORAM
  * behaviour, deeper queues only smooth stage jitter.
+ *
+ * A preprocessor-pool sweep (P = 1, 2, 4 prep threads through the
+ * deterministic reorder stage) shows what happens when stage 1 stops
+ * being negligible — large superblocks (or --encrypt making windows
+ * heavier) push prep time toward serve time, and the pool buys the
+ * hidden fraction back. Per-prep-thread utilization and the reorder
+ * (head-of-line) stall land in the JSON so prep-bound regressions are
+ * trackable.
  */
 
 #include <iomanip>
@@ -32,14 +40,28 @@ using bench::randomTrace;
 
 core::LaoramConfig
 engineConfig(std::uint64_t blocks, std::uint64_t superblock,
-             std::uint64_t seed)
+             std::uint64_t seed, bool encrypt)
 {
     core::LaoramConfig cfg;
     cfg.base.numBlocks = blocks;
     cfg.base.blockBytes = 128;
     cfg.base.seed = seed;
+    cfg.base.encrypt = encrypt;
+    if (encrypt)
+        cfg.base.payloadBytes = 64;
     cfg.superblockSize = superblock;
     return cfg;
+}
+
+double
+meanUtilization(const core::PipelineReport &rep)
+{
+    if (rep.prepThreadUtilization.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double u : rep.prepThreadUtilization)
+        sum += u;
+    return sum / static_cast<double>(rep.prepThreadUtilization.size());
 }
 
 } // namespace
@@ -56,6 +78,13 @@ main(int argc, char **argv)
                                2048);
     auto superblock = args.addUint("superblock", "LAORAM S", 4);
     auto seed = args.addUint("seed", "trace + engine seed", 1);
+    auto encrypt = args.addFlag(
+        "encrypt", "ChaCha20 at rest (heavier serve + prep windows)");
+    auto prepLoad = args.addUint(
+        "prep-load",
+        "stage-1 ns per access (emulated sample decrypt/parse; 0 = "
+        "auto-calibrate the pool sweep to the prep-bound regime)",
+        0);
     args.parse(argc, argv);
 
     bench::printHeader(
@@ -72,7 +101,8 @@ main(int argc, char **argv)
     core::PipelineConfig simPc;
     simPc.windowAccesses = *window;
     simPc.mode = core::PipelineMode::Simulated;
-    core::Laoram simEngine(engineConfig(*blocks, *superblock, *seed));
+    core::Laoram simEngine(
+        engineConfig(*blocks, *superblock, *seed, *encrypt));
     core::BatchPipeline simPipe(simEngine, simPc);
     const auto simRep = simPipe.run(trace);
 
@@ -93,12 +123,14 @@ main(int argc, char **argv)
     std::cout << "concurrent (measured wall clock):\n"
               << "  depth   wall ms   prep ms   serve ms   stall ms   "
                  "io ms   io/serve   prep hidden\n";
+    double lastServeNs = 0.0;
     for (const std::size_t depth : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}, std::size_t{8}}) {
         core::PipelineConfig pc = simPc;
         pc.mode = core::PipelineMode::Concurrent;
         pc.queueDepth = depth;
-        core::Laoram engine(engineConfig(*blocks, *superblock, *seed));
+        core::Laoram engine(
+            engineConfig(*blocks, *superblock, *seed, *encrypt));
         core::BatchPipeline pipe(engine, pc);
         const auto rep = pipe.run(trace);
 
@@ -119,6 +151,64 @@ main(int argc, char **argv)
         json.add(tag + ".io_serve_fraction", rep.ioServeFraction);
         json.add(tag + ".measured_prep_hidden",
                  rep.measuredPrepHiddenFraction);
+        lastServeNs = rep.wallServeNs;
+    }
+
+    // --- Preprocessor-pool sweep: P prep threads feeding the
+    // deterministic reorder stage at a fixed depth. Stage 1 carries
+    // the paper's sample decrypt/parse cost (--prep-load, or
+    // auto-calibrated to ~2x the measured serve rate so stage 1 is
+    // genuinely the bottleneck at P=1); the hidden fraction and
+    // throughput then recover as P grows, and per-thread utilization
+    // dropping shows when the pool outruns the serving thread. ---
+    double loadNs = static_cast<double>(*prepLoad);
+    if (loadNs == 0.0) {
+        // lastServeNs is the depth-8 run's serve time; 2x its
+        // per-access rate makes P=1 prep-bound on any host (margin
+        // for the spinning prep thread slowing serving down).
+        loadNs = 2.0 * lastServeNs / static_cast<double>(*accesses);
+    }
+    json.add("pool.prep_load_ns_per_access", loadNs);
+    std::cout << "\npreprocessor pool (depth 4, stage-1 load "
+              << loadNs << " ns/access):\n"
+              << "  preps   wall ms   acc/wallMs   stall ms   "
+                 "reorder ms   prep util   prep hidden\n";
+    for (const std::size_t preps : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+        core::PipelineConfig pc = simPc;
+        pc.mode = core::PipelineMode::Concurrent;
+        pc.queueDepth = 4;
+        pc.prepThreads = preps;
+        pc.prepLoadNsPerAccess = loadNs;
+        core::Laoram engine(
+            engineConfig(*blocks, *superblock, *seed, *encrypt));
+        core::BatchPipeline pipe(engine, pc);
+        const auto rep = pipe.run(trace);
+
+        const double accPerMs = static_cast<double>(*accesses)
+                                / (rep.wallTotalNs / 1e6);
+        std::cout << "  " << std::setw(5) << preps << std::setw(10)
+                  << rep.wallTotalNs / 1e6 << std::setw(13) << accPerMs
+                  << std::setw(11) << rep.wallStallNs / 1e6
+                  << std::setw(13) << rep.wallReorderStallNs / 1e6
+                  << std::setw(11) << meanUtilization(rep) * 100.0
+                  << "%" << std::setw(13)
+                  << rep.measuredPrepHiddenFraction * 100.0 << "%\n";
+
+        const std::string tag = "prep" + std::to_string(preps);
+        json.add(tag + ".wall_ms", rep.wallTotalNs / 1e6);
+        json.add(tag + ".acc_per_wall_ms", accPerMs);
+        json.add(tag + ".stall_ms", rep.wallStallNs / 1e6);
+        json.add(tag + ".reorder_stall_ms",
+                 rep.wallReorderStallNs / 1e6);
+        json.add(tag + ".prep_util_mean", meanUtilization(rep));
+        json.add(tag + ".measured_prep_hidden",
+                 rep.measuredPrepHiddenFraction);
+        for (std::size_t t = 0; t < rep.prepThreadUtilization.size();
+             ++t) {
+            json.add(tag + ".util_thread" + std::to_string(t),
+                     rep.prepThreadUtilization[t]);
+        }
     }
     json.write();
 

@@ -16,6 +16,7 @@
  *    reference.
  */
 
+#include <algorithm>
 #include <iomanip>
 #include <iostream>
 #include <vector>
@@ -39,6 +40,13 @@ main(int argc, char **argv)
     auto superblock = args.addUint("superblock", "LAORAM S", 4);
     auto skew = args.addDouble("skew", "Zipf exponent", 1.0);
     auto seed = args.addUint("seed", "trace + engine seed", 1);
+    auto prepThreads = args.addUint(
+        "prep-threads", "preprocessor threads per shard pipeline", 1);
+    auto prepBudget = args.addUint(
+        "prep-budget",
+        "total preprocessor-thread budget split over the serving "
+        "pool (0 = use --prep-threads per shard)",
+        0);
     args.parse(argc, argv);
 
     bench::printHeader(
@@ -72,6 +80,10 @@ main(int argc, char **argv)
         cfg.engine.superblockSize = *superblock;
         cfg.numShards = shards;
         cfg.pipeline.windowAccesses = *window;
+        cfg.pipeline.prepThreads =
+            std::max<std::uint64_t>(*prepThreads, 1);
+        cfg.prepThreadBudget =
+            static_cast<std::uint32_t>(*prepBudget);
 
         core::ShardedLaoram engine(cfg);
         const auto rep = engine.runTrace(trace.accesses);
@@ -97,6 +109,10 @@ main(int argc, char **argv)
         json.add(tag + ".io_stall_ms", rep.aggregate.wallIoNs / 1e6);
         json.add(tag + ".io_serve_fraction",
                  rep.aggregate.ioServeFraction);
+        json.add(tag + ".prep_threads_total",
+                 static_cast<std::uint64_t>(rep.aggregate.prepThreads));
+        json.add(tag + ".reorder_stall_ms",
+                 rep.aggregate.wallReorderStallNs / 1e6);
     }
     json.write();
 

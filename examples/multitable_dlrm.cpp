@@ -44,6 +44,16 @@ main(int argc, char **argv)
     auto shards = args.addUint("shards", "ORAM trees (tables routed "
                                          "by shardPlan)",
                                4);
+    auto prepThreads = args.addUint(
+        "prep-threads",
+        "preprocessor threads per shard pipeline (determinism holds "
+        "for any value)",
+        1);
+    auto prepBudget = args.addUint(
+        "prep-budget",
+        "total preprocessor-thread budget split over the serving "
+        "pool (0 = use --prep-threads per shard)",
+        0);
     const auto storageArgs =
         storage::addStorageArgs(args, "multitable_dlrm.tree");
     args.parse(argc, argv);
@@ -92,6 +102,9 @@ main(int argc, char **argv)
     // preprocessing with serving.
     scfg.pipeline.windowAccesses = std::max<std::uint64_t>(
         tables.numTables() * *samples / (4 * numShards), 1);
+    scfg.pipeline.prepThreads =
+        std::max<std::uint64_t>(*prepThreads, 1);
+    scfg.prepThreadBudget = static_cast<std::uint32_t>(*prepBudget);
 
     const auto plan = tables.shardPlan(numShards);
     core::ShardedLaoram laoram(
@@ -109,8 +122,11 @@ main(int argc, char **argv)
         std::cout << " " << count;
     }
     std::cout << "\npipeline: " << rep.aggregate.windows
-              << " windows over " << numShards
-              << " shard pipelines, measured prep hidden "
+              << " windows over " << numShards << " shard pipelines ("
+              << laoram.effectiveShardPipeline().prepThreads
+              << " prep threads each, reorder stall "
+              << rep.aggregate.wallReorderStallNs / 1e6
+              << " ms), measured prep hidden "
               << rep.aggregate.measuredPrepHiddenFraction * 100.0
               << "% (modeled "
               << rep.aggregate.prepHiddenFraction * 100.0 << "%)\n";

@@ -67,12 +67,17 @@ Laoram::runTrace(const std::vector<BlockId> &trace)
     const std::uint64_t window =
         lcfg.lookaheadWindow == 0 ? trace.size() : lcfg.lookaheadWindow;
 
+    // Windows are numbered from 0 per runTrace call and preprocessed
+    // with their window-derived path stream — the exact scheme every
+    // pipelined run (any preprocessor-thread count) reproduces.
+    std::uint64_t index = 0;
     for (std::uint64_t start = 0; start < trace.size();
-         start += window) {
+         start += window, ++index) {
         const std::uint64_t stop =
             std::min<std::uint64_t>(start + window, trace.size());
-        serveWindow(prep.run(trace.data() + start,
-                             trace.data() + stop));
+        serveWindow(prep.runWindow(index, start, trace.data() + start,
+                                   trace.data() + stop)
+                        .result);
     }
 }
 

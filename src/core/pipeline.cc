@@ -1,13 +1,15 @@
 #include "core/pipeline.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <mutex>
 #include <thread>
 #include <utility>
 
-#include "util/bounded_queue.hh"
+#include "core/reorder_window.hh"
 #include "util/logging.hh"
 #include "util/walltime.hh"
 
@@ -15,11 +17,19 @@ namespace laoram::core {
 
 namespace {
 
-/** What travels over the pipeline queue: a schedule + its prep cost. */
+/** What travels over the reorder window: a schedule + its prep cost. */
 struct PreparedWindow
 {
     WindowSchedule sched;
     std::int64_t prepWallNs = 0;
+};
+
+/** Per-prep-thread accounting, written only by its owner thread. */
+struct PrepThreadLedger
+{
+    std::int64_t busyNs = 0;     ///< time inside runWindow
+    std::int64_t lifetimeNs = 0; ///< thread start to exit
+    std::uint64_t windows = 0;   ///< windows preprocessed
 };
 
 } // namespace
@@ -34,6 +44,8 @@ BatchPipeline::BatchPipeline(Laoram &engine, const PipelineConfig &cfg)
                   "pipeline window must hold at least one access");
     LAORAM_ASSERT(cfg.queueDepth >= 1,
                   "pipeline queue depth must be at least 1");
+    LAORAM_ASSERT(cfg.prepThreads >= 1,
+                  "pipeline needs at least one preprocessor thread");
 }
 
 PipelineReport
@@ -92,14 +104,18 @@ BatchPipeline::runSimulated(const std::vector<BlockId> &trace)
 
     const storage::IoStats ioBefore =
         engine.storageForAudit().ioStats();
+    std::uint64_t index = 0;
     for (std::uint64_t start = 0; start < trace.size();
-         start += cfg.windowAccesses) {
+         start += cfg.windowAccesses, ++index) {
         const std::uint64_t stop = std::min<std::uint64_t>(
             start + cfg.windowAccesses, trace.size());
 
-        // Stage 1: preprocess the window (simulated cost).
+        // Stage 1: preprocess the window (simulated cost; same
+        // window-derived path stream as every other mode).
         const PreprocessResult res =
-            prep.run(trace.data() + start, trace.data() + stop);
+            prep.runWindow(index, start, trace.data() + start,
+                           trace.data() + stop)
+                .result;
         prepNs.push_back(cfg.preprocessNsPerAccess
                          * static_cast<double>(res.totalAccesses));
 
@@ -123,7 +139,12 @@ PipelineReport
 BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
 {
     PipelineReport rep;
-    BoundedQueue<PreparedWindow> queue(cfg.queueDepth);
+    const std::size_t poolSize = cfg.prepThreads;
+    const std::uint64_t numWindows =
+        (trace.size() + cfg.windowAccesses - 1) / cfg.windowAccesses;
+
+    ReorderWindow<PreparedWindow> reorder(cfg.queueDepth);
+    std::mutex errorMu;
     std::exception_ptr prepError;
 
     const storage::IoStats ioBefore =
@@ -131,38 +152,83 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
 
     const WallClock::time_point runStart = WallClock::now();
 
-    // Stage 1 on its own thread: slice the trace into look-ahead
-    // windows, build each schedule, and push it into the bounded
-    // queue. push() blocks once queueDepth windows are waiting — the
-    // backpressure that stops preprocessing from running arbitrarily
-    // far ahead of training.
-    std::thread prepThread([&] {
+    // Stage 1 on a pool of poolSize threads: each worker claims the
+    // next unbuilt window off a shared atomic ticket, preprocesses it
+    // with the window-derived path stream (order-independent by
+    // construction), and pushes the schedule into the reorder window
+    // under its window index. push() blocks once the window is
+    // queueDepth ahead of serving — the backpressure that stops
+    // preprocessing from running arbitrarily far ahead of training.
+    std::atomic<std::uint64_t> nextWindow{0};
+    std::atomic<std::size_t> liveProducers{poolSize};
+    std::vector<PrepThreadLedger> ledgers(poolSize);
+
+    auto prepWorker = [&](std::size_t tid) {
+        const WallClock::time_point threadStart = WallClock::now();
+        PrepThreadLedger &ledger = ledgers[tid];
         try {
-            std::uint64_t index = 0;
-            for (std::uint64_t start = 0; start < trace.size();
-                 start += cfg.windowAccesses, ++index) {
+            while (true) {
+                const std::uint64_t w = nextWindow.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (w >= numWindows)
+                    break;
+                const std::uint64_t start = w * cfg.windowAccesses;
                 const std::uint64_t stop = std::min<std::uint64_t>(
                     start + cfg.windowAccesses, trace.size());
 
                 PreparedWindow item;
                 const WallClock::time_point t0 = WallClock::now();
-                item.sched = prep.runWindow(index, start,
+                item.sched = prep.runWindow(w, start,
                                             trace.data() + start,
                                             trace.data() + stop);
+                if (cfg.prepLoadNsPerAccess > 0.0) {
+                    // Emulated sample-decrypt/parse cost (see
+                    // PipelineConfig::prepLoadNsPerAccess): spin the
+                    // window's share of stage-1 wall time without
+                    // touching any served byte.
+                    const std::int64_t target = static_cast<
+                        std::int64_t>(
+                        cfg.prepLoadNsPerAccess
+                        * static_cast<double>(stop - start));
+                    while (elapsedNs(t0, WallClock::now()) < target) {
+                    }
+                }
                 item.prepWallNs = elapsedNs(t0, WallClock::now());
+                ledger.busyNs += item.prepWallNs;
+                ++ledger.windows;
 
-                if (!queue.push(std::move(item)))
+                if (!reorder.push(w, std::move(item)))
                     break; // serving side shut the pipeline down
             }
         } catch (...) {
-            prepError = std::current_exception();
+            {
+                std::lock_guard<std::mutex> lock(errorMu);
+                if (!prepError)
+                    prepError = std::current_exception();
+            }
+            // This worker's claimed window will never arrive; the
+            // consumer must not wait on the gap.
+            reorder.close();
         }
-        queue.close();
-    });
+        ledger.lifetimeNs = elapsedNs(threadStart, WallClock::now());
+        // Last producer out ends the stream.
+        if (liveProducers.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            reorder.close();
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(poolSize);
+    for (std::size_t t = 0; t < poolSize; ++t)
+        pool.emplace_back(prepWorker, t);
+    auto joinPool = [&] {
+        for (std::thread &t : pool)
+            t.join();
+    };
 
     // Stage 2 on the calling thread: drain prepared windows through
-    // the engine in order. Touch callbacks therefore keep running on
-    // the caller's thread, exactly like the serial runTrace.
+    // the engine strictly in window order — the reorder stage's
+    // guarantee. Touch callbacks therefore keep running on the
+    // caller's thread, exactly like the serial runTrace.
     std::vector<double> prepNsModeled;
     std::vector<double> accessNsModeled;
     std::vector<std::int64_t> prepWall;
@@ -171,9 +237,9 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
     try {
         PreparedWindow item;
         while (true) {
-            BoundedQueue<PreparedWindow>::SlotToken slot;
+            ReorderWindow<PreparedWindow>::ReleaseToken slot;
             const WallClock::time_point waitStart = WallClock::now();
-            if (!queue.popDeferred(item, slot))
+            if (!reorder.popDeferred(item, slot))
                 break;
             const std::int64_t waited =
                 elapsedNs(waitStart, WallClock::now());
@@ -184,7 +250,7 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
             // Hand the freed slot back only now: stage 1's next burst
             // lands inside the serve interval, not inside the wait we
             // just measured. If serveWindow throws, the token's
-            // destructor still wakes the producer on unwind.
+            // destructor still wakes the pool on unwind.
             slot.release();
 
             prepWall.push_back(item.prepWallNs);
@@ -202,16 +268,35 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
                 engine.meter().clock().nanoseconds() - simBefore);
         }
     } catch (...) {
-        queue.close(); // unblock the preprocessor, then re-raise
-        prepThread.join();
+        reorder.close(); // unblock the pool, then re-raise
+        joinPool();
         throw;
     }
-    prepThread.join();
+    joinPool();
     if (prepError)
         std::rethrow_exception(prepError);
 
     rep.wallFillNs = static_cast<double>(fillNs);
     rep.wallStallNs = static_cast<double>(stallNs);
+    rep.wallReorderStallNs =
+        static_cast<double>(reorder.stats().headOfLineWaitNs);
+
+    rep.prepThreads = static_cast<std::uint32_t>(poolSize);
+    rep.prepThreadBusyNs.reserve(poolSize);
+    rep.prepThreadUtilization.reserve(poolSize);
+    rep.prepThreadWindows.reserve(poolSize);
+    for (const PrepThreadLedger &ledger : ledgers) {
+        rep.prepThreadBusyNs.push_back(
+            static_cast<double>(ledger.busyNs));
+        rep.prepThreadUtilization.push_back(
+            ledger.lifetimeNs > 0
+                ? std::clamp(static_cast<double>(ledger.busyNs)
+                                 / static_cast<double>(
+                                     ledger.lifetimeNs),
+                             0.0, 1.0)
+                : 0.0);
+        rep.prepThreadWindows.push_back(ledger.windows);
+    }
     // Measured backend I/O during the serve stage: the serving thread
     // is the only storage client, so the delta over this run is its
     // genuine I/O component.

@@ -1,26 +1,35 @@
 /**
  * @file
- * The two-stage LAORAM pipeline (paper §VIII-A).
+ * The two-stage LAORAM pipeline (paper §VIII-A), generalised to a
+ * configurable pool of preprocessor threads.
  *
- * Stage 1 (preprocessor) scans the *next* look-ahead window while
+ * Stage 1 (preprocessor pool) scans *future* look-ahead windows while
  * stage 2 (trainer GPU + ORAM) serves the current one. The paper
  * reports that preprocessing is orders of magnitude cheaper than
- * training and therefore falls off the critical path.
+ * training and therefore falls off the critical path; when it is not
+ * (large superblocks, heavy windows), prepThreads > 1 preprocesses
+ * several windows concurrently so stage 1 keeps up.
  *
- * Two modes reproduce that claim:
+ * Two modes reproduce the paper's claim:
  *
- *  - Concurrent (default): a real preprocessor thread builds
- *    WindowSchedules ahead of a serving thread, connected by a bounded
- *    queue (backpressure = how far ahead preprocessing may run). The
- *    report carries *measured* wall-clock overlap numbers.
+ *  - Concurrent (default): prepThreads real preprocessor threads
+ *    claim window indices from a shared ticket, build WindowSchedules
+ *    concurrently, and push them — tagged with their window index —
+ *    into a bounded ReorderWindow. The serving thread pops windows
+ *    strictly in stream order; the window bound is the backpressure
+ *    that caps how far ahead preprocessing may run. The report
+ *    carries *measured* wall-clock overlap numbers, per-prep-thread
+ *    utilization, and the reorder (head-of-line) stall share.
  *  - Simulated: the original analytic cost model — stage costs are
  *    simulated and the pipelined makespan computed, so Fig.-style
  *    benches stay exactly reproducible.
  *
- * Both modes serve windows in stream order through the same
- * Laoram::serveWindow code path and draw preprocessing paths from the
- * same seeded stream, so their ORAM-visible behaviour is identical to
- * each other and to the serial Laoram::runTrace.
+ * Determinism for any prepThreads: window w's bin paths come from a
+ * per-window derived RNG stream (Preprocessor::windowSeed), never
+ * from call order, and the reorder stage restores exact stream order
+ * before serving — so every payload byte, position-map entry, and
+ * stash state matches the serial Laoram::runTrace regardless of how
+ * the pool's threads interleave.
  */
 
 #ifndef LAORAM_CORE_PIPELINE_HH
@@ -57,12 +66,35 @@ struct PipelineConfig
     PipelineMode mode = PipelineMode::Concurrent;
 
     /**
-     * Bounded-queue depth for Concurrent mode: how many prepared
+     * Reorder-window depth for Concurrent mode: how many prepared
      * windows may wait between the stages. Depth 1 forces strict
      * lock-step hand-off; larger depths absorb stage jitter at the
-     * cost of more prepared-schedule client memory.
+     * cost of more prepared-schedule client memory. (Up to
+     * prepThreads further windows can be mid-build on top of the
+     * buffered ones, so peak prepared-state memory is bounded by
+     * queueDepth + prepThreads windows.)
      */
     std::size_t queueDepth = 4;
+
+    /**
+     * Preprocessor threads in the stage-1 pool (Concurrent mode;
+     * Simulated mode ignores it). Results are byte-identical for any
+     * value — see the file comment — so this is purely a throughput
+     * knob for prep-bound configurations.
+     */
+    std::size_t prepThreads = 1;
+
+    /**
+     * Emulated stage-1 wall-time floor per scanned access (Concurrent
+     * mode): after building a window, the preprocessor thread
+     * busy-spins until the window's stage-1 time reaches this many ns
+     * per access. The paper's preprocessor decrypts and parses the
+     * upcoming training samples inside the trusted client (§IV-B) — a
+     * cost our synthetic in-memory traces do not pay — so this knob
+     * recreates the prep-bound regime where the pool matters. Zero
+     * (default) adds nothing, and no served byte changes either way.
+     */
+    double prepLoadNsPerAccess = 0.0;
 };
 
 /** Result of a pipelined run. */
@@ -90,6 +122,31 @@ struct PipelineReport
     double wallTotalNs = 0.0;  ///< end-to-end run() wall time
     double wallFillNs = 0.0;   ///< serve-thread wait for window 0
     double wallStallNs = 0.0;  ///< serve-thread waits after the fill
+
+    /**
+     * The head-of-line share of wallStallNs: serve-thread wait for
+     * the next-in-sequence window while *later* windows were already
+     * prepared and buffered. Zero with one preprocessor thread
+     * (windows arrive in order); with a pool it is the price of the
+     * determinism-preserving reorder stage.
+     */
+    double wallReorderStallNs = 0.0;
+
+    // ---- Per-prep-thread breakdown (Concurrent mode only). ----
+    std::uint32_t prepThreads = 0; ///< stage-1 pool size used
+
+    /** Wall time thread t spent preprocessing windows, by thread. */
+    std::vector<double> prepThreadBusyNs;
+
+    /**
+     * Busy share of each prep thread's lifetime (0..1). Low values
+     * mean the thread mostly waited on reorder-window backpressure —
+     * the pool is larger than the serving thread can consume.
+     */
+    std::vector<double> prepThreadUtilization;
+
+    /** Windows preprocessed by each thread (sums to `windows`). */
+    std::vector<std::uint64_t> prepThreadWindows;
 
     // ---- Measured backend I/O (real storage work; both modes). ----
     /**

@@ -9,11 +9,20 @@ namespace laoram::core {
 
 Preprocessor::Preprocessor(const PreprocessorConfig &cfg,
                            std::uint64_t seed)
-    : cfg(cfg), rng(seed)
+    : cfg(cfg), baseSeed(seed)
 {
     LAORAM_ASSERT(cfg.superblockSize >= 1,
                   "superblock size must be >= 1");
     LAORAM_ASSERT(cfg.numLeaves >= 1, "preprocessor needs numLeaves");
+}
+
+std::uint64_t
+Preprocessor::windowSeed(std::uint64_t baseSeed,
+                         std::uint64_t windowIndex)
+{
+    std::uint64_t state =
+        baseSeed + 0x9E3779B97F4A7C15ULL * (windowIndex + 1);
+    return splitMix64(state);
 }
 
 PreprocessResult
@@ -25,6 +34,7 @@ Preprocessor::run(const std::vector<BlockId> &stream) const
 PreprocessResult
 Preprocessor::run(const BlockId *begin, const BlockId *end) const
 {
+    Rng rng(windowSeed(baseSeed, 0));
     return preprocessWindow(cfg, begin, end, rng);
 }
 
@@ -36,6 +46,7 @@ Preprocessor::runWindow(std::uint64_t windowIndex,
     WindowSchedule sched;
     sched.windowIndex = windowIndex;
     sched.traceOffset = traceOffset;
+    Rng rng(windowSeed(baseSeed, windowIndex));
     sched.result = preprocessWindow(cfg, begin, end, rng);
     return sched;
 }

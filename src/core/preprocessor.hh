@@ -71,14 +71,40 @@ PreprocessResult preprocessWindow(const PreprocessorConfig &cfg,
                                   const BlockId *begin,
                                   const BlockId *end, Rng &rng);
 
-/** Scans future access streams into superblock metadata. */
+/**
+ * Scans future access streams into superblock metadata.
+ *
+ * Path draws are keyed by *window index*, not by call order: window w
+ * always draws from Rng(windowSeed(seed, w)), a pure function of the
+ * construction seed. That makes runWindow safe to call concurrently
+ * from a pool of preprocessor threads in any interleaving — window w
+ * produces the same bytes whether it is preprocessed first, last, or
+ * in parallel with its neighbours — which is the property the
+ * multi-preprocessor pipeline's determinism contract rests on
+ * (together with the serving-side reorder stage; see
+ * core/reorder_window.hh).
+ */
 class Preprocessor
 {
   public:
     Preprocessor(const PreprocessorConfig &cfg, std::uint64_t seed);
 
     /**
-     * Preprocess one look-ahead window.
+     * Stable per-window path-draw seed: a pure function of the
+     * preprocessor seed and the window index (SplitMix64 over a
+     * golden-ratio stride, matching the shard-seed idiom), so window
+     * streams are decorrelated yet reproducible from (seed, w) alone.
+     */
+    static std::uint64_t windowSeed(std::uint64_t baseSeed,
+                                    std::uint64_t windowIndex);
+
+    /**
+     * Preprocess one look-ahead window as *window index 0*. Repeated
+     * calls replay the identical window-0 path stream — correct for
+     * one-shot scans (tests, benches), but slicing a trace into
+     * several windows this way would correlate their superblock
+     * paths; use runWindow with distinct indices for that (as
+     * Laoram::runTrace and the pipelines do).
      *
      * @param stream future block accesses, in training order
      * @return bins with paths and per-member future paths
@@ -89,9 +115,9 @@ class Preprocessor
     PreprocessResult run(const BlockId *begin, const BlockId *end) const;
 
     /**
-     * Preprocess one window of a larger trace into an immutable
-     * schedule (advances this preprocessor's path-draw stream; calls
-     * on one Preprocessor instance must stay single-threaded).
+     * Preprocess window @p windowIndex of a larger trace into an
+     * immutable schedule. Thread-safe: concurrent calls with distinct
+     * window indices never touch shared mutable state.
      */
     WindowSchedule runWindow(std::uint64_t windowIndex,
                              std::uint64_t traceOffset,
@@ -100,9 +126,12 @@ class Preprocessor
 
     const PreprocessorConfig &config() const { return cfg; }
 
+    /** The seed per-window streams derive from. */
+    std::uint64_t seed() const { return baseSeed; }
+
   private:
     PreprocessorConfig cfg;
-    mutable Rng rng;
+    std::uint64_t baseSeed;
 };
 
 } // namespace laoram::core

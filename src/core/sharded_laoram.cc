@@ -147,6 +147,30 @@ ShardedLaoram::setTouchCallback(Laoram::TouchFn fn)
     }
 }
 
+std::uint32_t
+ShardedLaoram::servingPoolSize() const
+{
+    return std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(cfg.servingThreads == 0
+                                       ? cfg.numShards
+                                       : cfg.servingThreads,
+                                   cfg.numShards));
+}
+
+PipelineConfig
+ShardedLaoram::effectiveShardPipeline() const
+{
+    PipelineConfig pc = cfg.pipeline;
+    if (cfg.prepThreadBudget > 0) {
+        // Split the global budget over the lanes that run
+        // concurrently; every pipeline keeps at least one prep
+        // thread so no shard can starve.
+        pc.prepThreads = std::max<std::size_t>(
+            1, cfg.prepThreadBudget / servingPoolSize());
+    }
+    return pc;
+}
+
 ShardedPipelineReport
 ShardedLaoram::runTrace(const std::vector<BlockId> &trace)
 {
@@ -158,11 +182,8 @@ ShardedLaoram::runTrace(const std::vector<BlockId> &trace)
     const std::vector<std::vector<BlockId>> sub =
         splitter_.splitTrace(trace);
 
-    const std::uint32_t poolSize = std::max<std::uint32_t>(
-        1, std::min<std::uint32_t>(cfg.servingThreads == 0
-                                       ? cfg.numShards
-                                       : cfg.servingThreads,
-                                   cfg.numShards));
+    const std::uint32_t poolSize = servingPoolSize();
+    const PipelineConfig shardPipeline = effectiveShardPipeline();
 
     // The pool: each worker claims the next unserved shard, runs that
     // shard's full two-stage pipeline on itself (serving stage on the
@@ -187,7 +208,7 @@ ShardedLaoram::runTrace(const std::vector<BlockId> &trace)
                     engines_[s]->meter().counters();
                 const double simBefore =
                     engines_[s]->meter().clock().nanoseconds();
-                BatchPipeline pipe(*engines_[s], cfg.pipeline);
+                BatchPipeline pipe(*engines_[s], shardPipeline);
                 sr.pipeline = pipe.run(sub[s]);
                 sr.traffic =
                     engines_[s]->meter().counters().since(before);
@@ -232,12 +253,21 @@ ShardedLaoram::runTrace(const std::vector<BlockId> &trace)
         rep.aggregate.wallServeNs += sr.pipeline.wallServeNs;
         rep.aggregate.wallFillNs += sr.pipeline.wallFillNs;
         rep.aggregate.wallStallNs += sr.pipeline.wallStallNs;
+        rep.aggregate.wallReorderStallNs +=
+            sr.pipeline.wallReorderStallNs;
         rep.aggregate.wallIoNs += sr.pipeline.wallIoNs;
         rep.traffic += sr.traffic;
         rep.simNs = std::max(rep.simNs, sr.simNs);
         rep.simTotalNs += sr.simNs;
     }
     rep.aggregate.wallTotalNs = wallNs;
+    // Peak prep threads live at once: only poolSize shard pipelines
+    // are in flight concurrently (a summed per-shard count would
+    // overstate usage when the pool is smaller than the shard
+    // count). Per-thread vectors stay per-shard in rep.shards[i].
+    rep.aggregate.prepThreads =
+        poolSize * static_cast<std::uint32_t>(
+                       shardPipeline.prepThreads);
 
     // Hidden fractions over the pooled run: the prep-weighted average
     // of the per-shard fractions (each already clamped to [0, 1]), so

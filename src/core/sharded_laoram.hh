@@ -7,8 +7,9 @@
  * splits one logical block space across N independent Laoram engines
  * (one tree, stash, position map and traffic meter each) and serves
  * all shards concurrently: a pool of serving threads runs one
- * two-stage pipeline — preprocessor thread + bounded queue + serving
- * thread (§VIII-A) — per shard.
+ * two-stage pipeline — preprocessor-thread pool + reorder window +
+ * serving thread (§VIII-A) — per shard, with prepThreadBudget
+ * splitting a global preprocessor-thread budget over the lanes.
  *
  * Sharding is deterministic and reproducible by construction: the
  * splitter is a pure function of (numBlocks, numShards, salt), every
@@ -136,11 +137,23 @@ struct ShardedLaoramConfig
     /**
      * Serving threads in the pool (0 = one per shard). Each busy
      * thread owns one shard's full two-stage pipeline, so the live
-     * thread count is at most 2x this value.
+     * thread count is at most (1 + prepThreads) x this value.
      */
     std::uint32_t servingThreads = 0;
 
-    /** Per-shard pipeline knobs (window size, queue depth, mode). */
+    /**
+     * Total preprocessor-thread budget shared by the concurrently
+     * served shard pipelines (0 = no budget: every shard pipeline
+     * uses pipeline.prepThreads as-is). When set, each of the
+     * poolSize in-flight pipelines runs max(1, budget / poolSize)
+     * preprocessor threads, so the whole run keeps roughly
+     * `budget` prep threads live regardless of the shard count —
+     * the shards x preps split in one knob.
+     */
+    std::uint32_t prepThreadBudget = 0;
+
+    /** Per-shard pipeline knobs (window size, queue depth, prep
+     *  threads, mode). */
     PipelineConfig pipeline;
 };
 
@@ -229,6 +242,16 @@ class ShardedLaoram
      * servingThreads shard pipelines in flight.
      */
     ShardedPipelineReport runTrace(const std::vector<BlockId> &trace);
+
+    /**
+     * The pipeline knobs each shard actually runs under: cfg.pipeline
+     * with prepThreads rewritten when prepThreadBudget is set (the
+     * budget divided over the serving pool, at least 1 per shard).
+     */
+    PipelineConfig effectiveShardPipeline() const;
+
+    /** Serving-pool size runTrace will use (lanes in flight). */
+    std::uint32_t servingPoolSize() const;
 
     /**
      * Payload hook applied at bin-access time, called with the

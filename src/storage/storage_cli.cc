@@ -1,5 +1,8 @@
 #include "storage/storage_cli.hh"
 
+#include <string>
+#include <utility>
+
 #include "util/logging.hh"
 
 namespace laoram::storage {
@@ -22,19 +25,34 @@ addStorageArgs(ArgParser &args, const std::string &defaultPath)
     return sa;
 }
 
-StorageConfig
-storageConfigFromArgs(const StorageArgs &sa)
+namespace {
+
+void
+setError(std::string *error, std::string message)
+{
+    if (error != nullptr)
+        *error = std::move(message);
+}
+
+} // namespace
+
+bool
+storageConfigFromArgsChecked(const StorageArgs &sa, StorageConfig *out,
+                             std::string *error)
 {
     StorageConfig cfg;
     if (*sa.backend == "dram") {
         cfg.kind = BackendKind::Dram;
     } else if (*sa.backend == "mmap") {
         cfg.kind = BackendKind::MmapFile;
-        if (sa.path->empty())
-            LAORAM_FATAL("--storage=mmap requires --storage-path");
+        if (sa.path->empty()) {
+            setError(error, "--storage=mmap requires --storage-path");
+            return false;
+        }
     } else {
-        LAORAM_FATAL("unknown --storage backend '", *sa.backend,
-                     "' (expected dram or mmap)");
+        setError(error, "unknown --storage backend '" + *sa.backend
+                            + "' (expected dram or mmap)");
+        return false;
     }
     cfg.path = *sa.path;
 
@@ -44,12 +62,50 @@ storageConfigFromArgs(const StorageArgs &sa)
         cfg.durability = Durability::Async;
     else if (*sa.durability == "sync")
         cfg.durability = Durability::Sync;
-    else
-        LAORAM_FATAL("unknown --storage-durability '", *sa.durability,
-                     "' (expected buffered, async or sync)");
+    else {
+        setError(error, "unknown --storage-durability '"
+                            + *sa.durability
+                            + "' (expected buffered, async or sync)");
+        return false;
+    }
 
     cfg.keepExisting = *sa.keepExisting;
+    if (cfg.keepExisting && cfg.kind == BackendKind::Dram) {
+        // A DRAM tree dies with the process: "keep" it and the run
+        // would silently serve a fresh store while the user believes
+        // state survived. Reject loudly instead.
+        setError(error, "--storage-keep requires a persistent backend "
+                        "(--storage=mmap with --storage-path)");
+        return false;
+    }
+
+    if (out != nullptr)
+        *out = std::move(cfg);
+    return true;
+}
+
+StorageConfig
+storageConfigFromArgs(const StorageArgs &sa)
+{
+    StorageConfig cfg;
+    std::string error;
+    if (!storageConfigFromArgsChecked(sa, &cfg, &error))
+        LAORAM_FATAL(error);
     return cfg;
+}
+
+const char *
+durabilityName(Durability durability)
+{
+    switch (durability) {
+    case Durability::Buffered:
+        return "buffered";
+    case Durability::Async:
+        return "async";
+    case Durability::Sync:
+        return "sync";
+    }
+    return "unknown";
 }
 
 } // namespace laoram::storage

@@ -31,10 +31,24 @@ StorageArgs addStorageArgs(ArgParser &args,
                            const std::string &defaultPath = "");
 
 /**
- * Resolve parsed options into a StorageConfig. Fatal (exit 1) on an
- * unknown backend or durability name, or mmap without a path.
+ * Resolve parsed options into @p out without exiting: false (with
+ * @p error set when non-null) on an unknown backend or durability
+ * name, mmap without a path, or --storage-keep on a backend that
+ * cannot reopen anything. The testable core of
+ * storageConfigFromArgs.
+ */
+bool storageConfigFromArgsChecked(const StorageArgs &sa,
+                                  StorageConfig *out,
+                                  std::string *error = nullptr);
+
+/**
+ * Resolve parsed options into a StorageConfig. Fatal (exit 1) on any
+ * configuration storageConfigFromArgsChecked rejects.
  */
 StorageConfig storageConfigFromArgs(const StorageArgs &sa);
+
+/** Stable lower-case name for a durability mode ("buffered", ...). */
+const char *durabilityName(Durability durability);
 
 } // namespace laoram::storage
 

@@ -71,12 +71,13 @@ expectEnginesIdentical(const Laoram &a, const Laoram &b)
 
 PipelineConfig
 pipelineConfig(PipelineMode mode, std::uint64_t window = 128,
-               std::size_t depth = 4)
+               std::size_t depth = 4, std::size_t prepThreads = 1)
 {
     PipelineConfig pc;
     pc.windowAccesses = window;
     pc.mode = mode;
     pc.queueDepth = depth;
+    pc.prepThreads = prepThreads;
     return pc;
 }
 
@@ -225,6 +226,97 @@ TEST(SimulatedPipeline, ReportsNoMeasuredThreadNumbers)
     // needs a measured serve denominator and stays zero).
     EXPECT_GT(rep.wallIoNs, 0.0);
     EXPECT_DOUBLE_EQ(rep.ioServeFraction, 0.0);
+}
+
+TEST(ConcurrentPipeline, PreprocessorPoolMatchesSerialByteForByte)
+{
+    // The tentpole contract: any preprocessor-thread count serves the
+    // exact bytes of the serial engine — the per-window path streams
+    // plus the reorder stage make scheduling invisible.
+    const auto trace = randomTrace(2400, 256, 29);
+    const std::uint64_t window = 96;
+
+    LaoramConfig cfg = engineConfig();
+    cfg.base.payloadBytes = 32;
+    cfg.lookaheadWindow = window;
+    const auto touch = [](oram::BlockId id,
+                          std::vector<std::uint8_t> &payload) {
+        payload[0] = static_cast<std::uint8_t>(id * 5 + 2);
+    };
+
+    for (const std::size_t preps : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+        // Fresh reference per pool size: the payload readback below
+        // advances engine state, so a shared reference would drift
+        // ahead of the next round's pipelined engine.
+        Laoram serial(cfg);
+        serial.setTouchCallback(touch);
+        serial.runTrace(trace);
+        serial.setTouchCallback(nullptr);
+
+        Laoram piped(cfg);
+        piped.setTouchCallback(touch);
+        BatchPipeline pipe(
+            piped, pipelineConfig(PipelineMode::Concurrent, window, 3,
+                                  preps));
+        const auto rep = pipe.run(trace);
+        piped.setTouchCallback(nullptr);
+
+        expectEnginesIdentical(serial, piped);
+        EXPECT_EQ(rep.prepThreads, preps);
+
+        std::vector<std::uint8_t> bufA, bufB;
+        for (oram::BlockId id = 0; id < cfg.base.numBlocks; ++id) {
+            serial.readBlock(id, bufA);
+            piped.readBlock(id, bufB);
+            ASSERT_EQ(bufA, bufB)
+                << "P=" << preps << " diverges at block " << id;
+        }
+    }
+}
+
+TEST(ConcurrentPipeline, PreprocessorPoolReportFieldsConsistent)
+{
+    const auto trace = randomTrace(4096, 256, 31);
+    Laoram engine(engineConfig());
+    BatchPipeline pipe(
+        engine,
+        pipelineConfig(PipelineMode::Concurrent, 256, 4, 3));
+    const auto rep = pipe.run(trace);
+
+    EXPECT_EQ(rep.prepThreads, 3u);
+    ASSERT_EQ(rep.prepThreadBusyNs.size(), 3u);
+    ASSERT_EQ(rep.prepThreadUtilization.size(), 3u);
+    ASSERT_EQ(rep.prepThreadWindows.size(), 3u);
+
+    std::uint64_t windows = 0;
+    double busy = 0.0;
+    for (std::size_t t = 0; t < 3; ++t) {
+        windows += rep.prepThreadWindows[t];
+        busy += rep.prepThreadBusyNs[t];
+        EXPECT_GE(rep.prepThreadUtilization[t], 0.0);
+        EXPECT_LE(rep.prepThreadUtilization[t], 1.0);
+    }
+    EXPECT_EQ(windows, rep.windows);
+    EXPECT_DOUBLE_EQ(busy, rep.wallPrepNs);
+
+    // Reorder stall is the head-of-line share of the measured serve
+    // stalls; it can never exceed total waiting (fill + stalls).
+    EXPECT_GE(rep.wallReorderStallNs, 0.0);
+    EXPECT_LE(rep.wallReorderStallNs,
+              rep.wallFillNs + rep.wallStallNs + 1.0);
+}
+
+TEST(ConcurrentPipeline, SinglePrepThreadHasNoReorderStall)
+{
+    // With one producer windows arrive in order, so no consumer wait
+    // can ever be classified as head-of-line.
+    Laoram engine(engineConfig());
+    BatchPipeline pipe(engine,
+                       pipelineConfig(PipelineMode::Concurrent, 128));
+    const auto rep = pipe.run(randomTrace(2000, 256, 37));
+    EXPECT_EQ(rep.prepThreads, 1u);
+    EXPECT_DOUBLE_EQ(rep.wallReorderStallNs, 0.0);
 }
 
 TEST(ConcurrentPipeline, PrebuiltSchedulesServeIdentically)

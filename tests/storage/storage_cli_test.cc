@@ -1,0 +1,148 @@
+/**
+ * @file
+ * storage_cli parsing tests: the shared --storage* option plumbing
+ * was previously only exercised indirectly through the examples.
+ * These cover the defaulted happy path, every rejection branch of
+ * storageConfigFromArgsChecked (unknown backend, mmap without a
+ * path, unknown durability, --storage-keep without a persistent
+ * backing file), and the durability-name round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/storage_cli.hh"
+#include "util/cli.hh"
+
+namespace laoram::storage {
+namespace {
+
+struct ParsedArgs
+{
+    ArgParser parser{"storage_cli_test", "parsing fixture"};
+    StorageArgs storage;
+
+    explicit ParsedArgs(const std::vector<std::string> &argv,
+                        const std::string &defaultPath = "")
+        : storage(addStorageArgs(parser, defaultPath))
+    {
+        std::string error;
+        EXPECT_TRUE(parser.parseVector(argv, &error)) << error;
+    }
+};
+
+TEST(StorageCli, DefaultsToFreshDramBufferedStore)
+{
+    ParsedArgs args({});
+    StorageConfig cfg;
+    std::string error;
+    ASSERT_TRUE(
+        storageConfigFromArgsChecked(args.storage, &cfg, &error))
+        << error;
+    EXPECT_EQ(cfg.kind, BackendKind::Dram);
+    EXPECT_EQ(cfg.durability, Durability::Buffered);
+    EXPECT_FALSE(cfg.keepExisting);
+}
+
+TEST(StorageCli, MmapWithPathAndDurabilityParses)
+{
+    ParsedArgs args({"--storage", "mmap", "--storage-path", "t.tree",
+                     "--storage-durability", "sync",
+                     "--storage-keep"});
+    StorageConfig cfg;
+    std::string error;
+    ASSERT_TRUE(
+        storageConfigFromArgsChecked(args.storage, &cfg, &error))
+        << error;
+    EXPECT_EQ(cfg.kind, BackendKind::MmapFile);
+    EXPECT_EQ(cfg.path, "t.tree");
+    EXPECT_EQ(cfg.durability, Durability::Sync);
+    EXPECT_TRUE(cfg.keepExisting);
+}
+
+TEST(StorageCli, DefaultPathSeedsStoragePath)
+{
+    ParsedArgs args({"--storage", "mmap"}, "seeded.tree");
+    StorageConfig cfg;
+    ASSERT_TRUE(storageConfigFromArgsChecked(args.storage, &cfg));
+    EXPECT_EQ(cfg.path, "seeded.tree");
+}
+
+TEST(StorageCli, UnknownBackendIsRejectedWithBothNames)
+{
+    ParsedArgs args({"--storage", "tape"});
+    std::string error;
+    EXPECT_FALSE(
+        storageConfigFromArgsChecked(args.storage, nullptr, &error));
+    // The message must name the offender and the accepted values.
+    EXPECT_NE(error.find("tape"), std::string::npos) << error;
+    EXPECT_NE(error.find("dram"), std::string::npos) << error;
+    EXPECT_NE(error.find("mmap"), std::string::npos) << error;
+}
+
+TEST(StorageCli, MmapWithoutPathIsRejected)
+{
+    ParsedArgs args({"--storage", "mmap"});
+    std::string error;
+    EXPECT_FALSE(
+        storageConfigFromArgsChecked(args.storage, nullptr, &error));
+    EXPECT_NE(error.find("--storage-path"), std::string::npos)
+        << error;
+}
+
+TEST(StorageCli, UnknownDurabilityIsRejected)
+{
+    ParsedArgs args({"--storage-durability", "eventually"});
+    std::string error;
+    EXPECT_FALSE(
+        storageConfigFromArgsChecked(args.storage, nullptr, &error));
+    EXPECT_NE(error.find("eventually"), std::string::npos) << error;
+    EXPECT_NE(error.find("buffered"), std::string::npos) << error;
+}
+
+TEST(StorageCli, KeepWithoutPersistentBackendIsRejected)
+{
+    // --storage-keep on the (default) DRAM backend would silently
+    // hand the user a fresh store; it must be rejected, and the
+    // message must point at the persistent alternative.
+    ParsedArgs args({"--storage-keep"});
+    std::string error;
+    EXPECT_FALSE(
+        storageConfigFromArgsChecked(args.storage, nullptr, &error));
+    EXPECT_NE(error.find("--storage-keep"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("mmap"), std::string::npos) << error;
+}
+
+TEST(StorageCli, RejectionLeavesOutputUntouched)
+{
+    ParsedArgs args({"--storage", "tape"});
+    StorageConfig cfg;
+    cfg.kind = BackendKind::MmapFile;
+    cfg.path = "sentinel";
+    EXPECT_FALSE(storageConfigFromArgsChecked(args.storage, &cfg));
+    EXPECT_EQ(cfg.kind, BackendKind::MmapFile);
+    EXPECT_EQ(cfg.path, "sentinel");
+}
+
+TEST(StorageCli, DurabilityModeRoundTripsThroughItsName)
+{
+    for (const Durability mode :
+         {Durability::Buffered, Durability::Async, Durability::Sync}) {
+        const std::string name = durabilityName(mode);
+        ParsedArgs args({"--storage", "mmap", "--storage-path", "x",
+                         "--storage-durability", name});
+        StorageConfig cfg;
+        std::string error;
+        ASSERT_TRUE(
+            storageConfigFromArgsChecked(args.storage, &cfg, &error))
+            << name << ": " << error;
+        EXPECT_EQ(cfg.durability, mode) << name;
+        EXPECT_STREQ(durabilityName(cfg.durability), name.c_str());
+    }
+}
+
+} // namespace
+} // namespace laoram::storage

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/reorder_window.hh"
 #include "util/bounded_queue.hh"
 
 namespace laoram {
@@ -135,6 +136,88 @@ TEST(BoundedQueue, SlotTokenMoveTransfersTheWakeup)
     ASSERT_TRUE(queue.push(8));
     EXPECT_TRUE(queue.pop(item));
     EXPECT_EQ(item, 8);
+}
+
+TEST(BoundedQueue, ManyProducersReorderDeliveryAndTokenUnwindStress)
+{
+    // The multi-preprocessor hand-off under contention, end to end:
+    // many producers claim contiguous sequence numbers and push them
+    // through the MPMC queue (arrival order scrambles), one consumer
+    // drains with popDeferred — periodically unwinding through a
+    // live SlotToken — and forwards everything into a ReorderWindow,
+    // which must restore exact sequence order. The window capacity
+    // covers the whole stream because a single relay behind a queue
+    // does not satisfy the reorder window's lowest-outstanding-
+    // sequence admission invariant (see reorder_window.hh): a small
+    // window could legitimately block the relay while the missing
+    // sequence still sits in the queue.
+    constexpr std::uint64_t kProducers = 6;
+    constexpr std::uint64_t kTotal = 6000;
+
+    BoundedQueue<std::uint64_t> queue(3);
+    core::ReorderWindow<std::uint64_t> window(kTotal);
+    std::atomic<std::uint64_t> ticket{0};
+
+    std::vector<std::thread> producers;
+    for (std::uint64_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&] {
+            while (true) {
+                const std::uint64_t seq =
+                    ticket.fetch_add(1, std::memory_order_relaxed);
+                if (seq >= kTotal)
+                    break;
+                ASSERT_TRUE(queue.push(seq));
+            }
+        });
+    }
+
+    std::thread consumer([&] {
+        std::uint64_t drained = 0;
+        while (true) {
+            std::uint64_t seq = 0;
+            bool got = false;
+            auto popMaybeThrowing = [&] {
+                BoundedQueue<std::uint64_t>::SlotToken token;
+                got = queue.popDeferred(seq, token);
+                // Every 7th delivery unwinds with the token still
+                // held: producers must not strand on the leaked
+                // slot, and the popped item must still be
+                // forwardable by the catch site below.
+                if (got && drained % 7 == 3)
+                    throw std::runtime_error("mid-window failure");
+                token.release();
+            };
+            try {
+                popMaybeThrowing();
+            } catch (const std::runtime_error &) {
+                // Unwound through the token; the item is in `seq`.
+            }
+            if (!got)
+                break;
+            ++drained;
+            ASSERT_TRUE(window.push(seq, seq));
+        }
+        window.close();
+        EXPECT_EQ(drained, kTotal);
+    });
+
+    // End-of-stream plumbing: producers finish first, then the
+    // closed queue lets the consumer drain out and close the window
+    // (its kTotal capacity means the consumer never waits on the
+    // checker below).
+    for (auto &t : producers)
+        t.join();
+    queue.close();
+    consumer.join();
+
+    // Checker: strict sequence order out of the reorder stage.
+    std::uint64_t expect = 0;
+    std::uint64_t out = 0;
+    while (window.pop(out)) {
+        ASSERT_EQ(out, expect) << "reorder delivered out of order";
+        ++expect;
+    }
+    EXPECT_EQ(expect, kTotal);
 }
 
 TEST(BoundedQueue, CloseDrainsThenReportsExhaustion)
