@@ -21,6 +21,14 @@
  * hidden fraction back. Per-prep-thread utilization and the reorder
  * (head-of-line) stall land in the JSON so prep-bound regressions are
  * trackable.
+ *
+ * A final multi-prep × remote sweep reruns the pool sweep with the
+ * tree behind the remote-KV backend at a shaped RPC latency
+ * (--remote-latency-us): serve-side stalls are now genuine network
+ * waits, and the sweep shows the prep pool hiding stage-1 work behind
+ * them — at a latency where P=1 leaves serve stalls, P>=2 raises the
+ * measured hidden fraction. The whole remote sweep lands in the JSON
+ * (remote.prepN.* keys) so the regime is tracked across PRs.
  */
 
 #include <iomanip>
@@ -29,6 +37,7 @@
 
 #include "common/harness.hh"
 #include "core/pipeline.hh"
+#include "storage/slot_backend.hh"
 #include "util/cli.hh"
 #include "util/rng.hh"
 
@@ -40,7 +49,8 @@ using bench::randomTrace;
 
 core::LaoramConfig
 engineConfig(std::uint64_t blocks, std::uint64_t superblock,
-             std::uint64_t seed, bool encrypt)
+             std::uint64_t seed, bool encrypt,
+             const storage::StorageConfig &store = {})
 {
     core::LaoramConfig cfg;
     cfg.base.numBlocks = blocks;
@@ -50,6 +60,7 @@ engineConfig(std::uint64_t blocks, std::uint64_t superblock,
     if (encrypt)
         cfg.base.payloadBytes = 64;
     cfg.superblockSize = superblock;
+    cfg.base.storage = store;
     return cfg;
 }
 
@@ -85,6 +96,9 @@ main(int argc, char **argv)
         "stage-1 ns per access (emulated sample decrypt/parse; 0 = "
         "auto-calibrate the pool sweep to the prep-bound regime)",
         0);
+    auto remoteLatencyUs = args.addUint(
+        "remote-latency-us",
+        "shaped RPC latency of the multi-prep x remote sweep", 40);
     args.parse(argc, argv);
 
     bench::printHeader(
@@ -209,6 +223,73 @@ main(int argc, char **argv)
             json.add(tag + ".util_thread" + std::to_string(t),
                      rep.prepThreadUtilization[t]);
         }
+    }
+
+    // --- Multi-prep × remote sweep: the pool sweep again, but with
+    // the tree behind the remote-KV backend at a shaped RPC latency.
+    // Serving now genuinely waits on the network (the io column), so
+    // this is the regime the ROADMAP crossed PR 3 and PR 4 for: at a
+    // latency where P=1 leaves serve stalls, P>=2 hides the stage-1
+    // load behind the RPC waits and the hidden fraction recovers. ---
+    storage::StorageConfig rstore;
+    rstore.kind = storage::BackendKind::Remote;
+    rstore.remote.latencyNs =
+        static_cast<std::int64_t>(*remoteLatencyUs) * 1000;
+    json.add("remote.latency_us", *remoteLatencyUs);
+
+    // Calibrate stage-1 load against the *remote* serve rate (slower
+    // than DRAM), measured at P=1 with no load: 2x makes P=1
+    // prep-bound on any host, exactly like the pool sweep above.
+    double remoteServeNs = 0.0;
+    {
+        core::PipelineConfig pc = simPc;
+        pc.mode = core::PipelineMode::Concurrent;
+        pc.queueDepth = 4;
+        core::Laoram engine(engineConfig(*blocks, *superblock, *seed,
+                                         *encrypt, rstore));
+        core::BatchPipeline pipe(engine, pc);
+        remoteServeNs = pipe.run(trace).wallServeNs;
+    }
+    const double remoteLoadNs =
+        2.0 * remoteServeNs / static_cast<double>(*accesses);
+    json.add("remote.prep_load_ns_per_access", remoteLoadNs);
+
+    std::cout << "\nmulti-prep x remote KV (RPC latency "
+              << *remoteLatencyUs << " us, depth 4, stage-1 load "
+              << remoteLoadNs << " ns/access):\n"
+              << "  preps   wall ms   acc/wallMs   stall ms      io ms"
+                 "   io/serve   prep hidden\n";
+    for (const std::size_t preps : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+        core::PipelineConfig pc = simPc;
+        pc.mode = core::PipelineMode::Concurrent;
+        pc.queueDepth = 4;
+        pc.prepThreads = preps;
+        pc.prepLoadNsPerAccess = remoteLoadNs;
+        core::Laoram engine(engineConfig(*blocks, *superblock, *seed,
+                                         *encrypt, rstore));
+        core::BatchPipeline pipe(engine, pc);
+        const auto rep = pipe.run(trace);
+
+        const double accPerMs = static_cast<double>(*accesses)
+                                / (rep.wallTotalNs / 1e6);
+        std::cout << "  " << std::setw(5) << preps << std::setw(10)
+                  << rep.wallTotalNs / 1e6 << std::setw(13) << accPerMs
+                  << std::setw(11) << rep.wallStallNs / 1e6
+                  << std::setw(11) << rep.wallIoNs / 1e6
+                  << std::setw(10) << rep.ioServeFraction * 100.0
+                  << "%" << std::setw(13)
+                  << rep.measuredPrepHiddenFraction * 100.0 << "%\n";
+
+        const std::string tag = "remote.prep" + std::to_string(preps);
+        json.add(tag + ".wall_ms", rep.wallTotalNs / 1e6);
+        json.add(tag + ".acc_per_wall_ms", accPerMs);
+        json.add(tag + ".stall_ms", rep.wallStallNs / 1e6);
+        json.add(tag + ".io_stall_ms", rep.wallIoNs / 1e6);
+        json.add(tag + ".io_serve_fraction", rep.ioServeFraction);
+        json.add(tag + ".prep_util_mean", meanUtilization(rep));
+        json.add(tag + ".measured_prep_hidden",
+                 rep.measuredPrepHiddenFraction);
     }
     json.write();
 

@@ -1,14 +1,17 @@
 /**
  * @file
  * Storage-backend comparison: the same LAORAM pipeline served from
- * DRAM vs a persistent mmap tree (warm and cold page cache).
+ * DRAM, a persistent mmap tree (warm and cold page cache), and a
+ * remote-KV node over batched/async RPC (unshaped, and shaped to a
+ * slow-network regime with --remote-latency-us / --remote-mbps).
  *
  * For each backend the bench reports wall-clock serving throughput,
  * the *measured* backend I/O stall (ServerStorage IoStats: time spent
  * encoding/decoding slots, including the page faults that pull a
- * file-backed tree from disk), and the DRAM-resident footprint — the
- * honest version of "how much memory does the tree cost", which for
- * an mmap tree is the mapped page set, not the file size.
+ * file-backed tree from disk and the RPC waits of a remote tree), and
+ * the DRAM-resident footprint — the honest version of "how much
+ * memory does the tree cost", which for an mmap tree is the mapped
+ * page set and for a remote tree the *server node's* residency.
  *
  * Modes:
  *   default  CI-sized geometry (seconds)
@@ -119,6 +122,14 @@ main(int argc, char **argv)
     auto full = args.addFlag("full",
                              "paper-scale Kaggle geometry (GiB-sized "
                              "tree file)");
+    auto remoteLatencyUs = args.addUint(
+        "remote-latency-us",
+        "shaped per-RPC latency of the remote-shaped variant", 50);
+    auto remoteMbps = args.addUint(
+        "remote-mbps",
+        "shaped link bandwidth of the remote-shaped variant (MB/s, "
+        "0 = unlimited)",
+        500);
     args.parse(argc, argv);
 
     std::uint64_t nBlocks = *blocks;
@@ -135,7 +146,8 @@ main(int argc, char **argv)
     }
 
     bench::printHeader(
-        "Storage backends — DRAM vs mmap (warm / cold page cache)",
+        "Storage backends — DRAM vs mmap (warm/cold) vs remote KV "
+        "(unshaped/shaped)",
         "one two-stage pipeline per variant; I/O stall is measured "
         "backend time, not a model");
     std::cout << nAccesses << " accesses over " << nBlocks
@@ -160,6 +172,22 @@ main(int argc, char **argv)
         cold.label = "mmap-cold";
         cold.coldCache = true;
         variants.push_back(cold);
+
+        // Remote-KV node over DRAM: one vectored RPC per path, async
+        // write window. Unshaped isolates the protocol cost; shaped
+        // reproduces a slow-network regime deterministically.
+        Variant remote;
+        remote.label = "remote";
+        remote.storage.kind = storage::BackendKind::Remote;
+        variants.push_back(remote);
+
+        Variant shaped = remote;
+        shaped.label = "remote-shaped";
+        shaped.storage.remote.latencyNs =
+            static_cast<std::int64_t>(*remoteLatencyUs) * 1000;
+        shaped.storage.remote.bytesPerSec =
+            *remoteMbps * 1000 * 1000;
+        variants.push_back(shaped);
     }
 
     bench::BenchJson json("storage_backends");
@@ -196,9 +224,11 @@ main(int argc, char **argv)
 
     std::cout
         << "\ndram serves from the heap; mmap-warm from the page "
-           "cache; mmap-cold\nfaults the tree back in from the file, "
-           "so its io/serve share is the\ngenuine disk wait the "
-           "pipeline's prep stage gets to hide behind.\n";
+           "cache; mmap-cold\nfaults the tree back in from the file; "
+           "remote moves every path over a\nbatched RPC link "
+           "(remote-shaped adds modeled latency/bandwidth), so the\n"
+           "io/serve share is the genuine disk or network wait the "
+           "pipeline's prep\nstage gets to hide behind.\n";
     json.write();
     return 0;
 }

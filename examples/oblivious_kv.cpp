@@ -132,8 +132,11 @@ main(int argc, char **argv)
         core::LaoramConfig lcfg;
         lcfg.base = cfg;
         // Separate store for the scan demo: the session engine above
-        // owns the primary tree (and its backing file, if mmap).
-        lcfg.base.storage.path += ".bulk";
+        // owns the primary tree (and its backing file, if any). An
+        // empty path (DRAM, or a DRAM-backed remote node) stays
+        // empty — no stray ".bulk" file.
+        if (!lcfg.base.storage.path.empty())
+            lcfg.base.storage.path += ".bulk";
         lcfg.superblockSize = 4;
         lcfg.lookaheadWindow = std::max<std::uint64_t>(*bulk / 8, 1);
         core::Laoram scanEngine(lcfg);

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository docs.
+
+Walks every tracked ``*.md`` file and verifies that relative links
+resolve: the target file must exist, and when a link carries a
+``#fragment`` pointing into a Markdown file, a matching heading must
+exist (GitHub-style anchor derivation). External links (http/https/
+mailto) are not fetched — CI must not depend on the network.
+
+Exit status: 0 when every link resolves, 1 otherwise (each dead link
+is reported as ``file:line: message``).
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def tracked_markdown(root):
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others",
+         "--exclude-standard", "*.md", "**/*.md"],
+        cwd=root, capture_output=True, text=True, check=True)
+    return sorted(set(line for line in out.stdout.splitlines() if line))
+
+
+def github_anchor(heading):
+    """GitHub's anchor derivation: lowercase, drop punctuation,
+    spaces to hyphens (inline code/emphasis markers stripped)."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    anchors = set()
+    seen_count = {}
+    with open(path, encoding="utf-8") as fh:
+        in_code = False
+        for line in fh:
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                base = github_anchor(m.group(1))
+                # GitHub suffixes repeated headings: #x, #x-1, #x-2...
+                n = seen_count.get(base, 0)
+                anchors.add(base if n == 0 else f"{base}-{n}")
+                seen_count[base] = n + 1
+    return anchors
+
+
+def check(root):
+    errors = []
+    anchor_cache = {}
+    for rel in tracked_markdown(root):
+        path = os.path.join(root, rel)
+        if not os.path.isfile(path):
+            continue  # deleted but still listed in a dirty tree
+        with open(path, encoding="utf-8") as fh:
+            in_code = False
+            for lineno, line in enumerate(fh, start=1):
+                if line.lstrip().startswith("```"):
+                    in_code = not in_code
+                    continue
+                if in_code:
+                    continue
+                for m in LINK_RE.finditer(line):
+                    target = m.group(1)
+                    if target.startswith(EXTERNAL):
+                        continue
+                    target, _, fragment = target.partition("#")
+                    if target:
+                        dest = os.path.normpath(os.path.join(
+                            os.path.dirname(path), target))
+                        if not os.path.exists(dest):
+                            errors.append(
+                                f"{rel}:{lineno}: dead link "
+                                f"'{m.group(1)}' ({target} not found)")
+                            continue
+                    else:
+                        dest = path  # intra-file #fragment
+                    if fragment and dest.endswith(".md"):
+                        if dest not in anchor_cache:
+                            anchor_cache[dest] = anchors_of(dest)
+                        if fragment not in anchor_cache[dest]:
+                            errors.append(
+                                f"{rel}:{lineno}: dead anchor "
+                                f"'#{fragment}' in {os.path.relpath(dest, root)}")
+    return errors
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    errors = check(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} dead link(s)", file=sys.stderr)
+        return 1
+    print("all markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

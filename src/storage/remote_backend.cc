@@ -1,0 +1,630 @@
+#include "storage/remote_backend.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace laoram::storage {
+
+namespace {
+
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30; ///< 1 GiB sanity cap
+constexpr std::uint8_t kResponseBit = 0x80;
+
+/** Paranoia cap on slot counts from the wire (a path union is small). */
+constexpr std::uint64_t kMaxSlotsPerRpc = 1u << 22;
+
+inline void
+appendU64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    const std::size_t at = buf.size();
+    buf.resize(at + sizeof(v));
+    std::memcpy(buf.data() + at, &v, sizeof(v)); // little-endian hosts
+}
+
+inline std::uint64_t
+readU64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/** Send exactly @p len bytes; false on a dead peer (EPIPE/RESET). */
+bool
+sendAll(int fd, const std::uint8_t *data, std::size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Receive exactly @p len bytes; false on EOF or a dead peer. */
+bool
+recvAll(int fd, std::uint8_t *data, std::size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::recv(fd, data, len, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // orderly shutdown mid-frame or at boundary
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Receive one frame into @p body (replacing its contents); false when
+ * the connection is gone.
+ */
+bool
+recvFrame(int fd, std::vector<std::uint8_t> &body)
+{
+    std::uint32_t len = 0;
+    if (!recvAll(fd, reinterpret_cast<std::uint8_t *>(&len),
+                 sizeof(len)))
+        return false;
+    if (len > kMaxFrameBytes)
+        return false; // protocol corruption; drop the connection
+    body.resize(len);
+    return recvAll(fd, body.data(), len);
+}
+
+/** Frame + send @p body; false when the connection is gone. */
+bool
+sendFrame(int fd, const std::vector<std::uint8_t> &body)
+{
+    LAORAM_ASSERT(body.size() <= kMaxFrameBytes,
+                  "RPC frame of ", body.size(),
+                  " B exceeds the protocol cap");
+    const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+    if (!sendAll(fd, reinterpret_cast<const std::uint8_t *>(&len),
+                 sizeof(len)))
+        return false;
+    return sendAll(fd, body.data(), body.size());
+}
+
+} // namespace
+
+// ===================================================== RemoteKvServer
+
+RemoteKvServer::RemoteKvServer(std::unique_ptr<SlotBackend> inner,
+                               const RemoteKvConfig &shaping)
+    : store(std::move(inner)), shaping(shaping)
+{
+    LAORAM_ASSERT(store, "remote-KV server needs an inner backend");
+}
+
+RemoteKvServer::~RemoteKvServer()
+{
+    shutdown();
+}
+
+int
+RemoteKvServer::connectClient()
+{
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+        LAORAM_FATAL("socketpair() failed for remote-KV connection: ",
+                     std::strerror(errno));
+
+    std::lock_guard<std::mutex> lock(connMu);
+    if (stopped) {
+        ::close(sv[0]);
+        ::close(sv[1]);
+        LAORAM_FATAL("connectClient() on a shut-down remote-KV server");
+    }
+    Connection conn;
+    conn.fd = sv[1];
+    conn.thread =
+        std::thread([this, fd = sv[1]] { serveConnection(fd); });
+    conns.push_back(std::move(conn));
+    return sv[0];
+}
+
+void
+RemoteKvServer::shutdown()
+{
+    std::vector<Connection> victims;
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        stopped = true;
+        victims.swap(conns);
+    }
+    for (Connection &c : victims) {
+        // SHUT_RDWR (not close) so a service thread blocked in recv()
+        // wakes up; the client end sees EOF on its next harvest.
+        ::shutdown(c.fd, SHUT_RDWR);
+    }
+    for (Connection &c : victims) {
+        if (c.thread.joinable())
+            c.thread.join();
+        ::close(c.fd);
+    }
+}
+
+void
+RemoteKvServer::shapeDelay(std::uint64_t wireBytes) const
+{
+    std::int64_t ns = shaping.latencyNs;
+    if (shaping.bytesPerSec > 0) {
+        ns += static_cast<std::int64_t>(
+            static_cast<double>(wireBytes) * 1e9
+            / static_cast<double>(shaping.bytesPerSec));
+    }
+    if (ns > 0)
+        std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+void
+RemoteKvServer::serveConnection(int fd)
+{
+    const std::uint64_t recBytes = store->recordBytes();
+    std::vector<std::uint8_t> req;
+    std::vector<std::uint8_t> resp;
+    std::vector<std::uint64_t> slots;
+
+    // Wire-supplied indices are untrusted input: a bad one must drop
+    // the connection, not reach the inner store (whose range asserts
+    // are for *library* bugs and abort the whole node).
+    auto slotsValid = [this](const std::vector<std::uint64_t> &v) {
+        for (const std::uint64_t slot : v)
+            if (slot >= store->slots())
+                return false;
+        return true;
+    };
+
+    while (recvFrame(fd, req)) {
+        if (req.size() < 1 + sizeof(std::uint64_t))
+            break; // malformed header; drop the connection
+        const std::uint8_t op = req[0];
+        const std::uint64_t seq = readU64(req.data() + 1);
+        const std::uint8_t *payload = req.data() + 9;
+        const std::size_t payloadLen = req.size() - 9;
+
+        resp.clear();
+        resp.push_back(static_cast<std::uint8_t>(op | kResponseBit));
+        appendU64(resp, seq);
+        bool ok = true;
+
+        switch (static_cast<RemoteOp>(op)) {
+          case RemoteOp::Hello: {
+            appendU64(resp, store->slots());
+            appendU64(resp, store->recordBytes());
+            appendU64(resp, store->metaCapacity());
+            resp.push_back(store->persistent() ? 1 : 0);
+            resp.push_back(store->openedExisting() ? 1 : 0);
+            break;
+          }
+          case RemoteOp::ReadSlots: {
+            if (payloadLen < sizeof(std::uint64_t)) {
+                ok = false;
+                break;
+            }
+            const std::uint64_t n = readU64(payload);
+            // Bound the *response* frame too: n records must fit the
+            // u32 length prefix (and the client's frame cap), or the
+            // reply would truncate and desync the stream.
+            if (n > kMaxSlotsPerRpc
+                || payloadLen != (1 + n) * sizeof(std::uint64_t)
+                || 9 + n * recBytes > kMaxFrameBytes) {
+                ok = false;
+                break;
+            }
+            slots.resize(n);
+            std::memcpy(slots.data(), payload + 8, n * 8);
+            if (!slotsValid(slots)) {
+                ok = false;
+                break;
+            }
+            const std::size_t at = resp.size();
+            resp.resize(at + n * recBytes);
+            std::lock_guard<std::mutex> lock(storeMu);
+            store->readSlots(slots.data(), n, resp.data() + at);
+            break;
+          }
+          case RemoteOp::WriteSlots: {
+            if (payloadLen < sizeof(std::uint64_t)) {
+                ok = false;
+                break;
+            }
+            const std::uint64_t n = readU64(payload);
+            if (n > kMaxSlotsPerRpc
+                || payloadLen
+                       != (1 + n) * sizeof(std::uint64_t)
+                              + n * recBytes) {
+                ok = false;
+                break;
+            }
+            slots.resize(n);
+            std::memcpy(slots.data(), payload + 8, n * 8);
+            if (!slotsValid(slots)) {
+                ok = false;
+                break;
+            }
+            std::lock_guard<std::mutex> lock(storeMu);
+            store->writeSlots(slots.data(), n,
+                              payload + 8 + n * 8);
+            break;
+          }
+          case RemoteOp::Flush: {
+            std::lock_guard<std::mutex> lock(storeMu);
+            store->flush();
+            break;
+          }
+          case RemoteOp::ReadMeta: {
+            if (payloadLen != sizeof(std::uint64_t)) {
+                ok = false;
+                break;
+            }
+            const std::uint64_t want = readU64(payload);
+            if (want > kMaxFrameBytes) {
+                ok = false;
+                break;
+            }
+            std::vector<std::uint8_t> meta(want, 0);
+            std::uint64_t got = 0;
+            {
+                std::lock_guard<std::mutex> lock(storeMu);
+                got = store->readMeta(meta.data(), want);
+            }
+            appendU64(resp, got);
+            resp.insert(resp.end(), meta.begin(), meta.begin() + got);
+            break;
+          }
+          case RemoteOp::WriteMeta: {
+            if (payloadLen < sizeof(std::uint64_t)) {
+                ok = false;
+                break;
+            }
+            const std::uint64_t len = readU64(payload);
+            if (payloadLen != sizeof(std::uint64_t) + len) {
+                ok = false;
+                break;
+            }
+            std::lock_guard<std::mutex> lock(storeMu);
+            store->writeMeta(payload + 8, len);
+            break;
+          }
+          case RemoteOp::Stat: {
+            std::lock_guard<std::mutex> lock(storeMu);
+            appendU64(resp, store->residentBytes());
+            break;
+          }
+          default:
+            ok = false;
+            break;
+        }
+
+        if (!ok)
+            break; // protocol violation: drop the connection
+
+        // Network shaper: the handshake is control-plane and exempt;
+        // every data-plane RPC pays latency + wire time for both
+        // directions' bytes before its reply leaves.
+        if (static_cast<RemoteOp>(op) != RemoteOp::Hello)
+            shapeDelay(req.size() + resp.size());
+
+        if (!sendFrame(fd, resp))
+            break;
+    }
+    // Signal EOF to the peer so a client blocked in a response wait
+    // fails fast instead of hanging (protocol violations drop the
+    // connection without a reply). Only shutdown here — close() is
+    // owned by RemoteKvServer::shutdown(), since a second shutdown
+    // is harmless but a double-close races with fd reuse.
+    ::shutdown(fd, SHUT_RDWR);
+}
+
+// ==================================================== RemoteKvBackend
+
+RemoteKvBackend::RemoteKvBackend(const StorageConfig &cfg,
+                                 std::uint64_t slots,
+                                 std::uint64_t recordBytes,
+                                 std::uint64_t metaBytes)
+    : SlotBackend(slots, recordBytes), cfg(cfg.remote)
+{
+    LAORAM_ASSERT(this->cfg.windowDepth >= 1,
+                  "remote-KV window needs at least one RPC in flight");
+    // Compose the node's inner store from the same StorageConfig: a
+    // configured path means a persistent (mmap) node, otherwise the
+    // node serves from its own DRAM.
+    StorageConfig inner = cfg;
+    inner.kind = cfg.path.empty() ? BackendKind::Dram
+                                  : BackendKind::MmapFile;
+    server = std::make_unique<RemoteKvServer>(
+        makeBackend(inner, slots, recordBytes, metaBytes), cfg.remote);
+    fd = server->connectClient();
+    try {
+        handshake();
+    } catch (...) {
+        ::close(fd); // members are destroyed, but a raw fd is not
+        throw;
+    }
+}
+
+RemoteKvBackend::RemoteKvBackend(int fd, std::uint64_t slots,
+                                 std::uint64_t recordBytes,
+                                 const RemoteKvConfig &cfg)
+    : SlotBackend(slots, recordBytes), cfg(cfg), fd(fd)
+{
+    LAORAM_ASSERT(this->cfg.windowDepth >= 1,
+                  "remote-KV window needs at least one RPC in flight");
+    try {
+        handshake();
+    } catch (...) {
+        ::close(this->fd);
+        throw;
+    }
+}
+
+RemoteKvBackend::~RemoteKvBackend()
+{
+    // Best-effort drain: anything still in flight either completes or
+    // the connection is already dead (in which case the futures die
+    // with their broken promises — we are past caring on teardown).
+    pendingWrites.clear();
+    pendingRpcs.clear();
+    if (fd >= 0)
+        ::close(fd);
+    // The self-hosted server (if any) is destroyed after the client
+    // fd closes, so its service thread sees EOF and exits cleanly.
+}
+
+void
+RemoteKvBackend::handshake()
+{
+    std::vector<std::uint8_t> payload;
+    appendU64(payload, nSlots);
+    appendU64(payload, recBytes);
+    Completion hello = sendRequest(RemoteOp::Hello, payload);
+    const std::vector<std::uint8_t> resp = await(hello);
+    if (resp.size() != 3 * sizeof(std::uint64_t) + 2)
+        throw std::runtime_error(
+            "remote-KV handshake: malformed Hello response");
+    const std::uint64_t srvSlots = readU64(resp.data());
+    const std::uint64_t srvRec = readU64(resp.data() + 8);
+    if (srvSlots != nSlots || srvRec != recBytes) {
+        throw std::runtime_error(
+            "remote-KV handshake: server stores " +
+            std::to_string(srvSlots) + " slots of " +
+            std::to_string(srvRec) + " B, client expects " +
+            std::to_string(nSlots) + " slots of " +
+            std::to_string(recBytes) + " B");
+    }
+    serverMetaCap = readU64(resp.data() + 16);
+    serverPersistent = resp[24] != 0;
+    serverReopened = resp[25] != 0;
+}
+
+void
+RemoteKvBackend::connectionLost(const char *what) const
+{
+    LAORAM_FATAL("remote-KV connection lost during ", what,
+                 " (server died or closed the socket); the tree is "
+                 "unreachable, aborting the run");
+}
+
+std::vector<std::uint8_t> &
+RemoteKvBackend::beginRequest(RemoteOp op)
+{
+    frameScratch.clear();
+    frameScratch.push_back(static_cast<std::uint8_t>(op));
+    appendU64(frameScratch, nextSeq);
+    return frameScratch;
+}
+
+RemoteKvBackend::Completion
+RemoteKvBackend::dispatchRequest()
+{
+    PendingRpc pending;
+    pending.seq = nextSeq;
+    pending.op = frameScratch[0];
+    Completion completion = pending.promise.get_future();
+    pendingRpcs.push_back(std::move(pending));
+    ++nextSeq;
+
+    if (!sendFrame(fd, frameScratch))
+        connectionLost("request send");
+    return completion;
+}
+
+RemoteKvBackend::Completion
+RemoteKvBackend::sendRequest(RemoteOp op,
+                             const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> &frame = beginRequest(op);
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    return dispatchRequest();
+}
+
+void
+RemoteKvBackend::harvestOne()
+{
+    LAORAM_ASSERT(!pendingRpcs.empty(),
+                  "harvest with no RPC outstanding");
+    std::vector<std::uint8_t> frame;
+    if (!recvFrame(fd, frame))
+        connectionLost("response wait");
+    if (frame.size() < 1 + sizeof(std::uint64_t))
+        connectionLost("response decode");
+
+    PendingRpc pending = std::move(pendingRpcs.front());
+    pendingRpcs.pop_front();
+    const std::uint8_t op = frame[0];
+    const std::uint64_t seq = readU64(frame.data() + 1);
+    // In-order stream: every response must match the oldest request.
+    if (op != (pending.op | kResponseBit) || seq != pending.seq)
+        connectionLost("response sequencing");
+    frame.erase(frame.begin(), frame.begin() + 9);
+    pending.promise.set_value(std::move(frame));
+}
+
+std::vector<std::uint8_t>
+RemoteKvBackend::await(Completion &c)
+{
+    while (c.wait_for(std::chrono::seconds(0))
+           != std::future_status::ready)
+        harvestOne();
+    return c.get();
+}
+
+void
+RemoteKvBackend::reapCompletedWrites()
+{
+    while (!pendingWrites.empty()
+           && pendingWrites.front().wait_for(std::chrono::seconds(0))
+                  == std::future_status::ready) {
+        pendingWrites.front().get(); // ack body is empty
+        pendingWrites.pop_front();
+    }
+}
+
+void
+RemoteKvBackend::doReadSlot(std::uint64_t slot, std::uint8_t *dst)
+{
+    doReadSlots(&slot, 1, dst);
+}
+
+void
+RemoteKvBackend::doWriteSlot(std::uint64_t slot,
+                             const std::uint8_t *src)
+{
+    doWriteSlots(&slot, 1, src);
+}
+
+void
+RemoteKvBackend::doReadSlots(const std::uint64_t *slots, std::size_t n,
+                             std::uint8_t *dst)
+{
+    std::vector<std::uint8_t> &frame = beginRequest(RemoteOp::ReadSlots);
+    frame.reserve(frame.size() + (1 + n) * sizeof(std::uint64_t));
+    appendU64(frame, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        LAORAM_ASSERT(slots[i] < nSlots, "slot ", slots[i],
+                      " out of range");
+        appendU64(frame, slots[i]);
+    }
+    // The read pipelines behind any in-flight writes on the ordered
+    // stream, so it observes all of them; awaiting it resolves their
+    // completions along the way (harvested strictly in order).
+    Completion read = dispatchRequest();
+    const std::vector<std::uint8_t> body = await(read);
+    if (body.size() != n * recBytes)
+        connectionLost("read payload decode");
+    std::memcpy(dst, body.data(), body.size());
+    reapCompletedWrites();
+}
+
+void
+RemoteKvBackend::doWriteSlots(const std::uint64_t *slots, std::size_t n,
+                              const std::uint8_t *src)
+{
+    // Async write: one vectored RPC for the whole path, completion
+    // parked in the bounded window. Only a full window blocks — that
+    // wait is genuine backpressure from the (shaped) link and lands in
+    // the caller's timed section.
+    reapCompletedWrites();
+    while (pendingWrites.size() >= cfg.windowDepth) {
+        Completion oldest = std::move(pendingWrites.front());
+        pendingWrites.pop_front();
+        await(oldest);
+        reapCompletedWrites();
+    }
+
+    // Serialized straight into the frame buffer: the path's records
+    // are copied exactly once on their way to the socket.
+    std::vector<std::uint8_t> &frame =
+        beginRequest(RemoteOp::WriteSlots);
+    frame.reserve(frame.size() + (1 + n) * sizeof(std::uint64_t)
+                  + n * recBytes);
+    appendU64(frame, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        LAORAM_ASSERT(slots[i] < nSlots, "slot ", slots[i],
+                      " out of range");
+        appendU64(frame, slots[i]);
+    }
+    frame.insert(frame.end(), src, src + n * recBytes);
+    pendingWrites.push_back(dispatchRequest());
+}
+
+void
+RemoteKvBackend::doFlush()
+{
+    // Flush is a barrier: it orders behind every outstanding write on
+    // the stream, so awaiting its ack drains the whole window.
+    Completion flushed =
+        sendRequest(RemoteOp::Flush, std::vector<std::uint8_t>{});
+    await(flushed);
+    while (!pendingWrites.empty()) {
+        pendingWrites.front().get();
+        pendingWrites.pop_front();
+    }
+}
+
+std::uint64_t
+RemoteKvBackend::residentBytes() const
+{
+    // Control-plane RPC (not an IoStats op): reports the *server*
+    // node's resident bytes — the client side keeps nothing mapped,
+    // which is the whole point of a remote tree.
+    auto *self = const_cast<RemoteKvBackend *>(this);
+    Completion stat =
+        self->sendRequest(RemoteOp::Stat, std::vector<std::uint8_t>{});
+    const std::vector<std::uint8_t> body = self->await(stat);
+    if (body.size() != sizeof(std::uint64_t))
+        connectionLost("stat decode");
+    self->reapCompletedWrites();
+    return readU64(body.data());
+}
+
+void
+RemoteKvBackend::writeMeta(const std::uint8_t *src, std::uint64_t len)
+{
+    std::vector<std::uint8_t> &frame =
+        beginRequest(RemoteOp::WriteMeta);
+    appendU64(frame, len);
+    frame.insert(frame.end(), src, src + len);
+    Completion ack = dispatchRequest();
+    await(ack);
+    reapCompletedWrites();
+}
+
+std::uint64_t
+RemoteKvBackend::readMeta(std::uint8_t *dst, std::uint64_t len) const
+{
+    auto *self = const_cast<RemoteKvBackend *>(this);
+    appendU64(self->beginRequest(RemoteOp::ReadMeta), len);
+    Completion read = self->dispatchRequest();
+    const std::vector<std::uint8_t> body = self->await(read);
+    if (body.size() < sizeof(std::uint64_t))
+        connectionLost("meta decode");
+    const std::uint64_t got = readU64(body.data());
+    if (body.size() != sizeof(std::uint64_t) + got || got > len)
+        connectionLost("meta decode");
+    std::memcpy(dst, body.data() + 8, got);
+    self->reapCompletedWrites();
+    return got;
+}
+
+} // namespace laoram::storage

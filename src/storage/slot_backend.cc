@@ -2,6 +2,7 @@
 
 #include "storage/dram_backend.hh"
 #include "storage/mmap_backend.hh"
+#include "storage/remote_backend.hh"
 #include "util/logging.hh"
 #include "util/walltime.hh"
 
@@ -48,6 +49,8 @@ backendKindName(BackendKind kind)
         return "dram";
       case BackendKind::MmapFile:
         return "mmap";
+      case BackendKind::Remote:
+        return "remote";
     }
     return "?";
 }
@@ -171,6 +174,14 @@ makeBackend(const StorageConfig &cfg, std::uint64_t slots,
             LAORAM_FATAL("mmap storage backend requires a file path "
                          "(StorageConfig::path)");
         return std::make_unique<MmapFileBackend>(cfg, slots,
+                                                 recordBytes,
+                                                 metaBytes);
+      case BackendKind::Remote:
+        // Self-hosted node: the client backend owns an in-process
+        // RemoteKvServer composing over DRAM (or mmap when a path is
+        // configured), so every caller of makeBackend gets the full
+        // RPC data path without managing a server.
+        return std::make_unique<RemoteKvBackend>(cfg, slots,
                                                  recordBytes,
                                                  metaBytes);
     }

@@ -26,6 +26,7 @@
 #ifndef LAORAM_STORAGE_SLOT_BACKEND_HH
 #define LAORAM_STORAGE_SLOT_BACKEND_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -69,10 +70,38 @@ enum class BackendKind
 {
     Dram,     ///< in-process heap array (default; not persistent)
     MmapFile, ///< file-backed mmap tree; survives process restart
+    Remote,   ///< remote-KV node over batched/async RPC (staged)
 };
 
 /** Stable lower-case name for CLI/report output. */
 const char *backendKindName(BackendKind kind);
+
+/**
+ * Remote-KV link knobs (BackendKind::Remote): the client's async
+ * pipelining window and the server-side network shaper that makes
+ * slow-remote regimes reproducible on any host. The shaper changes
+ * only measured nanoseconds — IoStats *counts* are identical for any
+ * setting.
+ */
+struct RemoteKvConfig
+{
+    /** Modeled one-way service latency added to every RPC (0 = off). */
+    std::int64_t latencyNs = 0;
+
+    /**
+     * Modeled link bandwidth: each RPC additionally waits
+     * wireBytes / bytesPerSec (0 = unlimited).
+     */
+    std::uint64_t bytesPerSec = 0;
+
+    /**
+     * Maximum write/flush RPCs in flight before the client blocks
+     * harvesting completions. Reads always pipeline behind the
+     * outstanding writes on the ordered stream, so this bounds client
+     * memory and socket backlog, not correctness.
+     */
+    std::size_t windowDepth = 4;
+};
 
 /** Backend-construction knobs threaded through EngineConfig. */
 struct StorageConfig
@@ -100,6 +129,15 @@ struct StorageConfig
      * served as-is.
      */
     bool keepExisting = false;
+
+    /**
+     * Remote-KV link parameters (BackendKind::Remote only). The
+     * in-process node composes over the other knobs above: with
+     * `path` set the node persists its tree via MmapFileBackend
+     * (durability/keepExisting apply server-side), otherwise it
+     * serves from DRAM.
+     */
+    RemoteKvConfig remote{};
 };
 
 /**

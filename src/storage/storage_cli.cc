@@ -12,9 +12,14 @@ addStorageArgs(ArgParser &args, const std::string &defaultPath)
 {
     StorageArgs sa;
     sa.backend = args.addString(
-        "storage", "tree storage backend: dram | mmap", "dram");
+        "storage", "tree storage backend: dram | mmap | remote",
+        "dram");
     sa.path = args.addString(
-        "storage-path", "backing file for --storage=mmap", defaultPath);
+        "storage-path",
+        "backing file for --storage=mmap (and, when given explicitly, "
+        "the persistent tree of a --storage=remote node)",
+        defaultPath);
+    sa.pathSeen = args.seenTracker("storage-path");
     sa.durability = args.addString(
         "storage-durability",
         "mmap flush policy: buffered | async | sync", "buffered");
@@ -22,6 +27,21 @@ addStorageArgs(ArgParser &args, const std::string &defaultPath)
         "storage-keep",
         "reopen an existing compatible tree file instead of "
         "re-initialising it");
+    sa.remoteLatencyUs = args.addUint(
+        "remote-latency-us",
+        "--storage=remote: shaped per-RPC latency in microseconds",
+        0);
+    sa.remoteMbps = args.addUint(
+        "remote-mbps",
+        "--storage=remote: shaped link bandwidth in MB/s (0 = "
+        "unlimited)",
+        0);
+    sa.remoteWindow = args.addUint(
+        "remote-window",
+        "--storage=remote: max async write RPCs in flight", 4);
+    sa.remoteLatencySeen = args.seenTracker("remote-latency-us");
+    sa.remoteMbpsSeen = args.seenTracker("remote-mbps");
+    sa.remoteWindowSeen = args.seenTracker("remote-window");
     return sa;
 }
 
@@ -49,12 +69,44 @@ storageConfigFromArgsChecked(const StorageArgs &sa, StorageConfig *out,
             setError(error, "--storage=mmap requires --storage-path");
             return false;
         }
+    } else if (*sa.backend == "remote") {
+        cfg.kind = BackendKind::Remote;
     } else {
         setError(error, "unknown --storage backend '" + *sa.backend
-                            + "' (expected dram or mmap)");
+                            + "' (expected dram, mmap or remote)");
         return false;
     }
-    cfg.path = *sa.path;
+    // A remote node persists (mmap-inner) only when the user *asked*
+    // for a path: the convenience default that seeds --storage-path
+    // for mmap must not silently turn the documented DRAM-backed node
+    // into one that writes a tree file.
+    if (cfg.kind == BackendKind::Remote && !*sa.pathSeen)
+        cfg.path.clear();
+    else
+        cfg.path = *sa.path;
+
+    if (cfg.kind == BackendKind::Remote) {
+        if (*sa.remoteWindow == 0) {
+            setError(error, "--remote-window must be at least 1 "
+                            "(one RPC in flight)");
+            return false;
+        }
+        cfg.remote.latencyNs =
+            static_cast<std::int64_t>(*sa.remoteLatencyUs) * 1000;
+        cfg.remote.bytesPerSec = *sa.remoteMbps * 1000 * 1000;
+        cfg.remote.windowDepth =
+            static_cast<std::size_t>(*sa.remoteWindow);
+    } else if (*sa.remoteLatencySeen || *sa.remoteMbpsSeen
+               || *sa.remoteWindowSeen) {
+        // A shaped link on a local backend would silently measure
+        // nothing: the --remote-* knobs only exist on the RPC path,
+        // so reject them loudly instead of ignoring them. Presence-
+        // tracked, so even an explicitly-passed default value trips
+        // this.
+        setError(error, "--remote-latency-us/--remote-mbps/"
+                        "--remote-window require --storage=remote");
+        return false;
+    }
 
     if (*sa.durability == "buffered")
         cfg.durability = Durability::Buffered;
@@ -70,12 +122,17 @@ storageConfigFromArgsChecked(const StorageArgs &sa, StorageConfig *out,
     }
 
     cfg.keepExisting = *sa.keepExisting;
-    if (cfg.keepExisting && cfg.kind == BackendKind::Dram) {
-        // A DRAM tree dies with the process: "keep" it and the run
-        // would silently serve a fresh store while the user believes
-        // state survived. Reject loudly instead.
+    if (cfg.keepExisting
+        && (cfg.kind == BackendKind::Dram
+            || (cfg.kind == BackendKind::Remote
+                && cfg.path.empty()))) {
+        // A DRAM tree (local, or behind a pathless remote node) dies
+        // with the process: "keep" it and the run would silently
+        // serve a fresh store while the user believes state survived.
+        // Reject loudly instead.
         setError(error, "--storage-keep requires a persistent backend "
-                        "(--storage=mmap with --storage-path)");
+                        "(--storage=mmap, or --storage=remote with "
+                        "--storage-path)");
         return false;
     }
 

@@ -19,22 +19,36 @@ namespace laoram::storage {
 /** Parsed --storage* option handles (valid after ArgParser::parse). */
 struct StorageArgs
 {
-    std::shared_ptr<std::string> backend;    ///< dram | mmap
+    std::shared_ptr<std::string> backend;    ///< dram | mmap | remote
     std::shared_ptr<std::string> path;       ///< mmap backing file
+    std::shared_ptr<bool> pathSeen;          ///< --storage-path given
     std::shared_ptr<std::string> durability; ///< buffered|async|sync
     std::shared_ptr<bool> keepExisting;      ///< reopen compatible file
+
+    // --storage=remote link knobs (rejected on other backends; the
+    // *Seen trackers make that check catch explicitly-passed default
+    // values too).
+    std::shared_ptr<std::uint64_t> remoteLatencyUs; ///< per-RPC latency
+    std::shared_ptr<std::uint64_t> remoteMbps;      ///< link bandwidth
+    std::shared_ptr<std::uint64_t> remoteWindow;    ///< async in-flight
+    std::shared_ptr<bool> remoteLatencySeen;
+    std::shared_ptr<bool> remoteMbpsSeen;
+    std::shared_ptr<bool> remoteWindowSeen;
 };
 
 /** Register --storage, --storage-path, --storage-durability,
- *  --storage-keep on @p args. @p defaultPath seeds --storage-path. */
+ *  --storage-keep plus the --remote-latency-us / --remote-mbps /
+ *  --remote-window link knobs on @p args. @p defaultPath seeds
+ *  --storage-path. */
 StorageArgs addStorageArgs(ArgParser &args,
                            const std::string &defaultPath = "");
 
 /**
  * Resolve parsed options into @p out without exiting: false (with
  * @p error set when non-null) on an unknown backend or durability
- * name, mmap without a path, or --storage-keep on a backend that
- * cannot reopen anything. The testable core of
+ * name, mmap without a path, --storage-keep on a backend that cannot
+ * reopen anything, a non-default --remote-* option on a backend that
+ * is not remote, or a zero --remote-window. The testable core of
  * storageConfigFromArgs.
  */
 bool storageConfigFromArgsChecked(const StorageArgs &sa,

@@ -4,6 +4,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "util/logging.hh"
+
 namespace laoram {
 
 ArgParser::ArgParser(std::string prog, std::string description)
@@ -17,7 +19,7 @@ ArgParser::addUint(const std::string &name, const std::string &help,
 {
     auto val = std::make_shared<std::uint64_t>(def);
     options.push_back(Option{name, help, Kind::Uint, val, nullptr, nullptr,
-                             nullptr, std::to_string(def)});
+                             nullptr, std::to_string(def), nullptr});
     return val;
 }
 
@@ -27,7 +29,7 @@ ArgParser::addDouble(const std::string &name, const std::string &help,
 {
     auto val = std::make_shared<double>(def);
     options.push_back(Option{name, help, Kind::Double, nullptr, val,
-                             nullptr, nullptr, std::to_string(def)});
+                             nullptr, nullptr, std::to_string(def), nullptr});
     return val;
 }
 
@@ -37,7 +39,7 @@ ArgParser::addString(const std::string &name, const std::string &help,
 {
     auto val = std::make_shared<std::string>(std::move(def));
     options.push_back(Option{name, help, Kind::String, nullptr, nullptr,
-                             val, nullptr, *val});
+                             val, nullptr, *val, nullptr});
     return val;
 }
 
@@ -46,8 +48,19 @@ ArgParser::addFlag(const std::string &name, const std::string &help)
 {
     auto val = std::make_shared<bool>(false);
     options.push_back(Option{name, help, Kind::Flag, nullptr, nullptr,
-                             nullptr, val, "false"});
+                             nullptr, val, "false", nullptr});
     return val;
+}
+
+std::shared_ptr<bool>
+ArgParser::seenTracker(const std::string &name)
+{
+    Option *opt = find(name);
+    LAORAM_ASSERT(opt != nullptr, "seenTracker for unregistered "
+                  "option --", name);
+    if (!opt->seen)
+        opt->seen = std::make_shared<bool>(false);
+    return opt->seen;
 }
 
 ArgParser::Option *
@@ -113,6 +126,8 @@ ArgParser::parseVector(const std::vector<std::string> &args,
             if (haveValue)
                 return fail("flag --" + name + " takes no value");
             *opt->flagVal = true;
+            if (opt->seen)
+                *opt->seen = true;
             continue;
         }
 
@@ -139,6 +154,8 @@ ArgParser::parseVector(const std::vector<std::string> &args,
         } catch (const std::exception &) {
             return fail("bad value for --" + name + ": " + value);
         }
+        if (opt->seen)
+            *opt->seen = true;
     }
     return true;
 }

@@ -42,6 +42,16 @@ class ArgParser
                                   const std::string &help);
 
     /**
+     * Presence tracker for an already-registered option: the returned
+     * bool becomes true when parse() actually consumes --name, so a
+     * caller can distinguish "user passed the default value
+     * explicitly" from "option never given" (e.g. to reject options
+     * that only apply to a particular mode). Panics on an unknown
+     * name.
+     */
+    std::shared_ptr<bool> seenTracker(const std::string &name);
+
+    /**
      * Parse argv. On "--help" prints usage and exits 0; on a malformed
      * or unknown option prints usage and exits 1.
      */
@@ -66,6 +76,7 @@ class ArgParser
         std::shared_ptr<std::string> stringVal;
         std::shared_ptr<bool> flagVal;
         std::string defaultText;
+        std::shared_ptr<bool> seen; ///< set lazily by seenTracker()
     };
 
     Option *find(const std::string &name);

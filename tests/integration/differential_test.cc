@@ -11,6 +11,8 @@
  *   - the concurrent pipeline with P = 1, 2 and 4 preprocessor
  *     threads,
  *   - the simulated pipeline,
+ *   - a remote-KV-backed engine (the whole tree behind the batched/
+ *     async RPC backend, occasionally with a shaped link), pipelined,
  *   - a sharded run checked shard-by-shard against standalone
  *     reference engines built from shardEngineConfigFor.
  *
@@ -276,6 +278,28 @@ TEST_F(DifferentialDeterminism, PipelinedMatchesSerialForAnyPoolSize)
         simPipe.run(sc.trace);
         simulated.setTouchCallback(nullptr);
         expectMatchesSnapshot(serial, simulated, "simulated");
+
+        // Remote-KV leg: the identical engine with its tree behind
+        // the batched/async RPC backend (in-process node over DRAM),
+        // served through the concurrent pipeline. Payloads, position
+        // map, stash and meters must stay byte-identical to the DRAM
+        // serial reference; half the iterations shape the link so the
+        // async write window genuinely pipelines.
+        LaoramConfig rcfg = sc.cfg;
+        rcfg.base.storage.kind = storage::BackendKind::Remote;
+        if (rng.nextBool(0.5)) {
+            rcfg.base.storage.remote.latencyNs = 5'000;
+            rcfg.base.storage.remote.windowDepth =
+                1 + rng.nextBounded(4);
+        }
+        pc.mode = PipelineMode::Concurrent;
+        pc.prepThreads = 2;
+        Laoram remote(rcfg);
+        remote.setTouchCallback(touchFor(sc));
+        BatchPipeline remotePipe(remote, pc);
+        remotePipe.run(sc.trace);
+        remote.setTouchCallback(nullptr);
+        expectMatchesSnapshot(serial, remote, "remote-kv");
     }
 }
 

@@ -1,9 +1,10 @@
 /**
  * @file
  * Backend conformance suite: one parameterized fixture run against
- * every SlotBackend flavour (DRAM, mmap file, and a staged/
- * non-addressable reference backend), crossed with encryption on/off
- * and payloadBytes 0 / >0. Every backend must be observationally
+ * every SlotBackend flavour (DRAM, mmap file, a staged/
+ * non-addressable reference backend, and the remote-KV RPC backend
+ * over an in-process server), crossed with encryption on/off and
+ * payloadBytes 0 / >0. Every backend must be observationally
  * identical through the ServerStorage API — same records, same sink
  * trace, same vectored/single-slot semantics.
  *
@@ -26,6 +27,7 @@
 #include "oram/server_storage.hh"
 #include "storage/dram_backend.hh"
 #include "storage/mmap_backend.hh"
+#include "storage/remote_backend.hh"
 #include "util/rng.hh"
 
 namespace laoram::oram {
@@ -72,6 +74,7 @@ enum class Flavor
     Dram,
     Mmap,
     Staged,
+    Remote,
 };
 
 const char *
@@ -84,6 +87,8 @@ flavorName(Flavor f)
         return "Mmap";
       case Flavor::Staged:
         return "Staged";
+      case Flavor::Remote:
+        return "Remote";
     }
     return "?";
 }
@@ -138,6 +143,18 @@ class BackendConformance : public ::testing::TestWithParam<Param>
           case Flavor::Staged: {
             auto backend = std::make_unique<StagedBackend>(
                 geom.totalSlots(), 16 + payload);
+            return std::make_unique<ServerStorage>(
+                geom, payload, encrypt, kSeed, std::move(backend));
+          }
+          case Flavor::Remote: {
+            // Self-hosted RPC node over DRAM; a tiny shaped latency
+            // keeps the async-write window genuinely in flight.
+            StorageConfig scfg;
+            scfg.kind = BackendKind::Remote;
+            scfg.remote.latencyNs = 2000;
+            scfg.remote.windowDepth = 2;
+            auto backend = std::make_unique<storage::RemoteKvBackend>(
+                scfg, geom.totalSlots(), 16 + payload, 0);
             return std::make_unique<ServerStorage>(
                 geom, payload, encrypt, kSeed, std::move(backend));
           }
@@ -304,7 +321,8 @@ TEST_P(BackendConformance, FlushSucceeds)
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendConformance,
     ::testing::Combine(::testing::Values(Flavor::Dram, Flavor::Mmap,
-                                         Flavor::Staged),
+                                         Flavor::Staged,
+                                         Flavor::Remote),
                        ::testing::Bool(),
                        ::testing::Values(std::uint64_t{0},
                                          std::uint64_t{32})),

@@ -5,7 +5,8 @@
  * These cover the defaulted happy path, every rejection branch of
  * storageConfigFromArgsChecked (unknown backend, mmap without a
  * path, unknown durability, --storage-keep without a persistent
- * backing file), and the durability-name round-trip.
+ * backing file, --remote-* knobs without --storage=remote), the
+ * remote link-knob parsing, and the durability-name round-trip.
  */
 
 #include <gtest/gtest.h>
@@ -125,6 +126,137 @@ TEST(StorageCli, RejectionLeavesOutputUntouched)
     EXPECT_FALSE(storageConfigFromArgsChecked(args.storage, &cfg));
     EXPECT_EQ(cfg.kind, BackendKind::MmapFile);
     EXPECT_EQ(cfg.path, "sentinel");
+}
+
+TEST(StorageCli, RemoteBackendParsesWithLinkKnobs)
+{
+    ParsedArgs args({"--storage", "remote", "--remote-latency-us",
+                     "50", "--remote-mbps", "200", "--remote-window",
+                     "8"});
+    StorageConfig cfg;
+    std::string error;
+    ASSERT_TRUE(
+        storageConfigFromArgsChecked(args.storage, &cfg, &error))
+        << error;
+    EXPECT_EQ(cfg.kind, BackendKind::Remote);
+    EXPECT_EQ(cfg.remote.latencyNs, 50'000);
+    EXPECT_EQ(cfg.remote.bytesPerSec, 200'000'000u);
+    EXPECT_EQ(cfg.remote.windowDepth, 8u);
+}
+
+TEST(StorageCli, RemoteDefaultsToUnshapedLink)
+{
+    ParsedArgs args({"--storage", "remote"});
+    StorageConfig cfg;
+    ASSERT_TRUE(storageConfigFromArgsChecked(args.storage, &cfg));
+    EXPECT_EQ(cfg.kind, BackendKind::Remote);
+    EXPECT_EQ(cfg.remote.latencyNs, 0);
+    EXPECT_EQ(cfg.remote.bytesPerSec, 0u);
+    EXPECT_EQ(cfg.remote.windowDepth, 4u);
+}
+
+TEST(StorageCli, RemoteIgnoresSeededDefaultPath)
+{
+    // Examples seed --storage-path as an mmap convenience; a remote
+    // node must not silently inherit it and start persisting to disk
+    // — only an *explicit* --storage-path makes the node persistent.
+    ParsedArgs seeded({"--storage", "remote"}, "demo.tree");
+    StorageConfig cfg;
+    ASSERT_TRUE(storageConfigFromArgsChecked(seeded.storage, &cfg));
+    EXPECT_EQ(cfg.kind, BackendKind::Remote);
+    EXPECT_TRUE(cfg.path.empty());
+
+    // ...even when the explicit value equals the seeded default.
+    ParsedArgs explicitPath(
+        {"--storage", "remote", "--storage-path", "demo.tree"},
+        "demo.tree");
+    ASSERT_TRUE(
+        storageConfigFromArgsChecked(explicitPath.storage, &cfg));
+    EXPECT_EQ(cfg.path, "demo.tree");
+
+    // mmap keeps the convenience default.
+    ParsedArgs mmapSeeded({"--storage", "mmap"}, "demo.tree");
+    ASSERT_TRUE(
+        storageConfigFromArgsChecked(mmapSeeded.storage, &cfg));
+    EXPECT_EQ(cfg.path, "demo.tree");
+}
+
+TEST(StorageCli, KeepOnRemoteWithSeededDefaultPathIsRejected)
+{
+    // Without an explicit path the remote node is DRAM-backed, so
+    // --storage-keep is the same trap as on local DRAM — even when a
+    // default path was seeded.
+    ParsedArgs args({"--storage", "remote", "--storage-keep"},
+                    "demo.tree");
+    std::string error;
+    EXPECT_FALSE(
+        storageConfigFromArgsChecked(args.storage, nullptr, &error));
+    EXPECT_NE(error.find("--storage-keep"), std::string::npos)
+        << error;
+}
+
+TEST(StorageCli, RemoteFlagsOnNonRemoteBackendAreRejected)
+{
+    // A shaped link on a local backend measures nothing; silently
+    // ignoring the flags would fake a slow-remote experiment. Every
+    // --remote-* knob must be rejected unless --storage=remote.
+    // The last two cases pass the *registered default* values
+    // explicitly — presence tracking must reject those too, not just
+    // non-default values.
+    for (const std::vector<std::string> &argv :
+         {std::vector<std::string>{"--remote-latency-us", "50"},
+          std::vector<std::string>{"--remote-mbps", "100"},
+          std::vector<std::string>{"--remote-window", "8"},
+          std::vector<std::string>{"--storage", "mmap",
+                                   "--storage-path", "t.tree",
+                                   "--remote-latency-us", "50"},
+          std::vector<std::string>{"--remote-window", "4"},
+          std::vector<std::string>{"--remote-latency-us", "0"}}) {
+        ParsedArgs args(argv);
+        std::string error;
+        EXPECT_FALSE(
+            storageConfigFromArgsChecked(args.storage, nullptr,
+                                         &error));
+        EXPECT_NE(error.find("--storage=remote"), std::string::npos)
+            << error;
+    }
+}
+
+TEST(StorageCli, RemoteWindowZeroIsRejected)
+{
+    ParsedArgs args({"--storage", "remote", "--remote-window", "0"});
+    std::string error;
+    EXPECT_FALSE(
+        storageConfigFromArgsChecked(args.storage, nullptr, &error));
+    EXPECT_NE(error.find("--remote-window"), std::string::npos)
+        << error;
+}
+
+TEST(StorageCli, KeepOnPathlessRemoteIsRejected)
+{
+    // A remote node without a backing path serves from its own DRAM
+    // and dies with the process — same trap as --storage-keep on
+    // local DRAM.
+    ParsedArgs args({"--storage", "remote", "--storage-keep"});
+    std::string error;
+    EXPECT_FALSE(
+        storageConfigFromArgsChecked(args.storage, nullptr, &error));
+    EXPECT_NE(error.find("--storage-keep"), std::string::npos)
+        << error;
+}
+
+TEST(StorageCli, KeepOnPersistentRemoteParses)
+{
+    ParsedArgs args({"--storage", "remote", "--storage-path",
+                     "node.tree", "--storage-keep"});
+    StorageConfig cfg;
+    std::string error;
+    ASSERT_TRUE(
+        storageConfigFromArgsChecked(args.storage, &cfg, &error))
+        << error;
+    EXPECT_EQ(cfg.kind, BackendKind::Remote);
+    EXPECT_TRUE(cfg.keepExisting);
+    EXPECT_EQ(cfg.path, "node.tree");
 }
 
 TEST(StorageCli, DurabilityModeRoundTripsThroughItsName)

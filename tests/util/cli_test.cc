@@ -50,6 +50,35 @@ TEST(ArgParser, FlagPresence)
     EXPECT_TRUE(*f);
 }
 
+TEST(ArgParser, SeenTrackerDistinguishesExplicitDefaults)
+{
+    ArgParser p("prog", "test");
+    auto n = p.addUint("n", "count", 42);
+    auto m = p.addUint("m", "other", 7);
+    auto f = p.addFlag("fast", "go fast");
+    auto nSeen = p.seenTracker("n");
+    auto mSeen = p.seenTracker("m");
+    auto fSeen = p.seenTracker("fast");
+    // --n passes its own default explicitly: value unchanged, but the
+    // tracker must still fire; untouched options stay unseen.
+    EXPECT_TRUE(p.parseVector({"--n", "42", "--fast"}));
+    EXPECT_EQ(*n, 42u);
+    EXPECT_EQ(*m, 7u);
+    EXPECT_TRUE(*nSeen);
+    EXPECT_FALSE(*mSeen);
+    EXPECT_TRUE(*fSeen);
+    (void)f;
+}
+
+TEST(ArgParser, SeenTrackerUntouchedOnParseFailure)
+{
+    ArgParser p("prog", "test");
+    p.addUint("n", "count", 1);
+    auto nSeen = p.seenTracker("n");
+    EXPECT_FALSE(p.parseVector({"--n", "not-a-number"}));
+    EXPECT_FALSE(*nSeen);
+}
+
 TEST(ArgParser, UnknownOptionFails)
 {
     ArgParser p("prog", "test");
