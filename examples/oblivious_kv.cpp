@@ -18,6 +18,7 @@
 #include "core/pipeline.hh"
 #include "oram/path_oram.hh"
 #include "oram/ring_oram.hh"
+#include "serve/serve.hh"
 #include "storage/storage_cli.hh"
 #include "util/cli.hh"
 #include "util/rng.hh"
@@ -147,12 +148,12 @@ main(int argc, char **argv)
         for (std::uint64_t i = 0; i < *bulk; ++i)
             scan.push_back(rng.nextBounded(*keys));
 
-        core::PipelineConfig pc;
-        pc.windowAccesses = lcfg.lookaheadWindow;
-        pc.prepThreads =
-            std::max<std::uint64_t>(*prepThreads, 1);
-        core::BatchPipeline pipe(scanEngine, pc);
-        const auto rep = pipe.run(scan);
+        const auto rep = serve::serve(
+            scanEngine, scan,
+            core::PipelineConfig{}
+                .withWindowAccesses(lcfg.lookaheadWindow)
+                .withPrepThreads(
+                    std::max<std::uint64_t>(*prepThreads, 1)));
 
         std::cout << "\nbulk oblivious scan: " << *bulk
                   << " reads in " << rep.wallTotalNs / 1e6

@@ -16,6 +16,7 @@
 
 #include "core/laoram_client.hh"
 #include "core/pipeline.hh"
+#include "serve/serve.hh"
 #include "util/cli.hh"
 #include "workload/xnli_synth.hh"
 
@@ -76,10 +77,9 @@ main(int argc, char **argv)
     });
 
     // Two-stage pipeline: preprocess window i+1 while serving i.
-    core::PipelineConfig pc;
-    pc.windowAccesses = *window;
-    core::BatchPipeline pipe(oram, pc);
-    const auto rep = pipe.run(trace.accesses);
+    const auto rep = serve::serve(
+        oram, trace.accesses,
+        core::PipelineConfig{}.withWindowAccesses(*window));
 
     const auto &c = oram.meter().counters();
     std::cout << "windows:               " << rep.windows << "\n"

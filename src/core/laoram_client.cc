@@ -2,28 +2,13 @@
 
 #include <algorithm>
 
+#include "core/pipeline.hh"
 #include "util/logging.hh"
 
 namespace laoram::core {
 
-namespace {
-
-PreprocessorConfig
-prepConfigFor(const LaoramConfig &cfg,
-              const oram::TreeGeometry &geom)
-{
-    PreprocessorConfig pc;
-    pc.superblockSize = cfg.superblockSize;
-    pc.numLeaves = geom.numLeaves();
-    return pc;
-}
-
-} // namespace
-
 Laoram::Laoram(const LaoramConfig &cfg)
-    : TreeOramBase(cfg.base),
-      lcfg(cfg),
-      prep(prepConfigFor(cfg, geom), cfg.base.seed ^ kPrepSeedSalt)
+    : TreeOramBase(cfg.base), lcfg(cfg)
 {
     LAORAM_ASSERT(lcfg.superblockSize >= 1,
                   "superblock size must be >= 1");
@@ -64,21 +49,15 @@ Laoram::runTrace(const std::vector<BlockId> &trace)
 {
     if (trace.empty())
         return;
-    const std::uint64_t window =
+    // Adapter over the unified run loop: a Simulated-mode pipeline on
+    // the calling thread is exactly the serial flow (windows numbered
+    // from 0, each preprocessed with its window-derived path stream,
+    // served in order) — the determinism contract's reference leg.
+    PipelineConfig pc;
+    pc.mode = PipelineMode::Simulated;
+    pc.windowAccesses =
         lcfg.lookaheadWindow == 0 ? trace.size() : lcfg.lookaheadWindow;
-
-    // Windows are numbered from 0 per runTrace call and preprocessed
-    // with their window-derived path stream — the exact scheme every
-    // pipelined run (any preprocessor-thread count) reproduces.
-    std::uint64_t index = 0;
-    for (std::uint64_t start = 0; start < trace.size();
-         start += window, ++index) {
-        const std::uint64_t stop =
-            std::min<std::uint64_t>(start + window, trace.size());
-        serveWindow(prep.runWindow(index, start, trace.data() + start,
-                                   trace.data() + stop)
-                        .result);
-    }
+    BatchPipeline(*this, pc).run(trace);
 }
 
 void

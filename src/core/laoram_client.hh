@@ -77,7 +77,10 @@ class Laoram final : public oram::TreeOramBase
 
     /**
      * Preprocess @p trace in look-ahead windows and serve it bin by
-     * bin — the paper's end-to-end flow.
+     * bin — the paper's end-to-end flow. Adapter over the unified
+     * ServeSource run loop: delegates to a Simulated-mode
+     * BatchPipeline on the calling thread (see core/serve_source.hh),
+     * which is byte-identical to the historical serial loop.
      */
     void runTrace(const std::vector<BlockId> &trace) override;
 
@@ -136,7 +139,6 @@ class Laoram final : public oram::TreeOramBase
 
   private:
     LaoramConfig lcfg;
-    Preprocessor prep;
     TouchFn touchFn;
 
     std::uint64_t nBins = 0;

@@ -34,18 +34,56 @@ struct PrepThreadLedger
 
 } // namespace
 
+void
+PipelineConfig::validate() const
+{
+    // User-facing config errors (LAORAM_FATAL, exit 1) — not library
+    // invariants, so no LAORAM_ASSERT/abort here.
+    if (windowAccesses < 1)
+        LAORAM_FATAL("pipeline windowAccesses must be >= 1");
+    if (queueDepth < 1)
+        LAORAM_FATAL("pipeline queueDepth must be >= 1");
+    if (prepThreads < 1)
+        LAORAM_FATAL("pipeline prepThreads must be >= 1 (one thread "
+                     "IS the minimal stage-1 pool)");
+    if (preprocessNsPerAccess < 0.0)
+        LAORAM_FATAL("preprocessNsPerAccess must be >= 0, got ",
+                     preprocessNsPerAccess);
+    if (prepLoadNsPerAccess < 0.0)
+        LAORAM_FATAL("prepLoadNsPerAccess must be >= 0, got ",
+                     prepLoadNsPerAccess);
+    if (mode == PipelineMode::Simulated && prepThreads > 1) {
+        LAORAM_FATAL("PipelineMode::Simulated runs both stages on the "
+                     "calling thread; prepThreads=", prepThreads,
+                     " would be silently ignored — use Concurrent "
+                     "mode for a preprocessor pool");
+    }
+    if (mode == PipelineMode::Simulated && prepLoadNsPerAccess > 0.0) {
+        LAORAM_FATAL("prepLoadNsPerAccess emulates wall-clock stage-1 "
+                     "load on real preprocessor threads; Simulated "
+                     "mode spawns none — use preprocessNsPerAccess "
+                     "for the analytic model instead");
+    }
+}
+
 BatchPipeline::BatchPipeline(Laoram &engine, const PipelineConfig &cfg)
     : engine(engine), cfg(cfg),
       prep(PreprocessorConfig{engine.laoramConfig().superblockSize,
                               engine.geometry().numLeaves()},
            engine.preprocessorSeed())
 {
-    LAORAM_ASSERT(cfg.windowAccesses >= 1,
-                  "pipeline window must hold at least one access");
-    LAORAM_ASSERT(cfg.queueDepth >= 1,
-                  "pipeline queue depth must be at least 1");
-    LAORAM_ASSERT(cfg.prepThreads >= 1,
-                  "pipeline needs at least one preprocessor thread");
+    cfg.validate();
+}
+
+PipelineReport
+BatchPipeline::run(ServeSource &source)
+{
+    PipelineReport rep = cfg.mode == PipelineMode::Concurrent
+                             ? runConcurrent(source)
+                             : runSimulated(source);
+    if (StreamingHistogram *hist = source.latencyHistogram())
+        rep.latency = hist->report();
+    return rep;
 }
 
 PipelineReport
@@ -53,8 +91,8 @@ BatchPipeline::run(const std::vector<BlockId> &trace)
 {
     if (trace.empty())
         return PipelineReport{};
-    return cfg.mode == PipelineMode::Concurrent ? runConcurrent(trace)
-                                                : runSimulated(trace);
+    TraceSource source(trace, cfg.windowAccesses);
+    return run(source);
 }
 
 void
@@ -96,7 +134,7 @@ BatchPipeline::finishModeledReport(PipelineReport &rep,
 }
 
 PipelineReport
-BatchPipeline::runSimulated(const std::vector<BlockId> &trace)
+BatchPipeline::runSimulated(ServeSource &source)
 {
     PipelineReport rep;
     std::vector<double> prepNs;
@@ -104,27 +142,26 @@ BatchPipeline::runSimulated(const std::vector<BlockId> &trace)
 
     const storage::IoStats ioBefore =
         engine.storageForAudit().ioStats();
-    std::uint64_t index = 0;
-    for (std::uint64_t start = 0; start < trace.size();
-         start += cfg.windowAccesses, ++index) {
-        const std::uint64_t stop = std::min<std::uint64_t>(
-            start + cfg.windowAccesses, trace.size());
-
+    SourceWindow sw;
+    while (source.nextWindow(sw)) {
         // Stage 1: preprocess the window (simulated cost; same
         // window-derived path stream as every other mode).
         const PreprocessResult res =
-            prep.runWindow(index, start, trace.data() + start,
-                           trace.data() + stop)
+            prep.runWindow(sw.windowIndex, sw.traceOffset,
+                           sw.accesses.data(),
+                           sw.accesses.data() + sw.accesses.size())
                 .result;
         prepNs.push_back(cfg.preprocessNsPerAccess
                          * static_cast<double>(res.totalAccesses));
 
         // Stage 2: serve it through the ORAM; measure via the meter's
         // simulated clock delta.
+        source.windowServing(sw.windowIndex);
         const double before = engine.meter().clock().nanoseconds();
         engine.serveWindow(res);
         accessNs.push_back(engine.meter().clock().nanoseconds()
                            - before);
+        source.windowServed(sw.windowIndex);
     }
 
     rep.wallIoNs = static_cast<double>(engine.storageForAudit()
@@ -136,12 +173,10 @@ BatchPipeline::runSimulated(const std::vector<BlockId> &trace)
 }
 
 PipelineReport
-BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
+BatchPipeline::runConcurrent(ServeSource &source)
 {
     PipelineReport rep;
     const std::size_t poolSize = cfg.prepThreads;
-    const std::uint64_t numWindows =
-        (trace.size() + cfg.windowAccesses - 1) / cfg.windowAccesses;
 
     ReorderWindow<PreparedWindow> reorder(cfg.queueDepth);
     std::mutex errorMu;
@@ -153,13 +188,16 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
     const WallClock::time_point runStart = WallClock::now();
 
     // Stage 1 on a pool of poolSize threads: each worker claims the
-    // next unbuilt window off a shared atomic ticket, preprocesses it
-    // with the window-derived path stream (order-independent by
+    // next window from the source (an atomic ticket for trace replay,
+    // a blocking pull from the session coalescer online), preprocesses
+    // it with the window-derived path stream (order-independent by
     // construction), and pushes the schedule into the reorder window
     // under its window index. push() blocks once the window is
     // queueDepth ahead of serving — the backpressure that stops
     // preprocessing from running arbitrarily far ahead of training.
-    std::atomic<std::uint64_t> nextWindow{0};
+    // Deadlock freedom holds because the source hands out contiguous
+    // indices only *with* their data: every claimed sequence number
+    // is pushed (or the window is closed on error/shutdown).
     std::atomic<std::size_t> liveProducers{poolSize};
     std::vector<PrepThreadLedger> ledgers(poolSize);
 
@@ -167,20 +205,13 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
         const WallClock::time_point threadStart = WallClock::now();
         PrepThreadLedger &ledger = ledgers[tid];
         try {
-            while (true) {
-                const std::uint64_t w = nextWindow.fetch_add(
-                    1, std::memory_order_relaxed);
-                if (w >= numWindows)
-                    break;
-                const std::uint64_t start = w * cfg.windowAccesses;
-                const std::uint64_t stop = std::min<std::uint64_t>(
-                    start + cfg.windowAccesses, trace.size());
-
+            SourceWindow sw;
+            while (source.nextWindow(sw)) {
                 PreparedWindow item;
                 const WallClock::time_point t0 = WallClock::now();
-                item.sched = prep.runWindow(w, start,
-                                            trace.data() + start,
-                                            trace.data() + stop);
+                item.sched = prep.runWindow(
+                    sw.windowIndex, sw.traceOffset, sw.accesses.data(),
+                    sw.accesses.data() + sw.accesses.size());
                 if (cfg.prepLoadNsPerAccess > 0.0) {
                     // Emulated sample-decrypt/parse cost (see
                     // PipelineConfig::prepLoadNsPerAccess): spin the
@@ -189,7 +220,7 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
                     const std::int64_t target = static_cast<
                         std::int64_t>(
                         cfg.prepLoadNsPerAccess
-                        * static_cast<double>(stop - start));
+                        * static_cast<double>(sw.accesses.size()));
                     while (elapsedNs(t0, WallClock::now()) < target) {
                     }
                 }
@@ -197,7 +228,7 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
                 ledger.busyNs += item.prepWallNs;
                 ++ledger.windows;
 
-                if (!reorder.push(w, std::move(item)))
+                if (!reorder.push(sw.windowIndex, std::move(item)))
                     break; // serving side shut the pipeline down
             }
         } catch (...) {
@@ -258,6 +289,7 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
                 cfg.preprocessNsPerAccess
                 * static_cast<double>(item.sched.result.totalAccesses));
 
+            source.windowServing(item.sched.windowIndex);
             const double simBefore =
                 engine.meter().clock().nanoseconds();
             const WallClock::time_point serveStart = WallClock::now();
@@ -266,6 +298,7 @@ BatchPipeline::runConcurrent(const std::vector<BlockId> &trace)
                 elapsedNs(serveStart, WallClock::now()));
             accessNsModeled.push_back(
                 engine.meter().clock().nanoseconds() - simBefore);
+            source.windowServed(item.sched.windowIndex);
         }
     } catch (...) {
         reorder.close(); // unblock the pool, then re-raise

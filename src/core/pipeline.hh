@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "core/laoram_client.hh"
+#include "core/serve_source.hh"
+#include "util/latency_histogram.hh"
 
 namespace laoram::core {
 
@@ -95,6 +97,62 @@ struct PipelineConfig
      * (default) adds nothing, and no served byte changes either way.
      */
     double prepLoadNsPerAccess = 0.0;
+
+    // ---- Named setter-style defaults: build a config by chaining
+    // ---- only the knobs that differ from the defaults, e.g.
+    // ----   PipelineConfig{}.withWindowAccesses(256).withPrepThreads(4)
+    PipelineConfig &
+    withWindowAccesses(std::uint64_t v)
+    {
+        windowAccesses = v;
+        return *this;
+    }
+
+    PipelineConfig &
+    withPreprocessCost(double nsPerAccess)
+    {
+        preprocessNsPerAccess = nsPerAccess;
+        return *this;
+    }
+
+    PipelineConfig &
+    withMode(PipelineMode m)
+    {
+        mode = m;
+        return *this;
+    }
+
+    PipelineConfig &
+    withQueueDepth(std::size_t v)
+    {
+        queueDepth = v;
+        return *this;
+    }
+
+    PipelineConfig &
+    withPrepThreads(std::size_t v)
+    {
+        prepThreads = v;
+        return *this;
+    }
+
+    PipelineConfig &
+    withPrepLoad(double nsPerAccess)
+    {
+        prepLoadNsPerAccess = nsPerAccess;
+        return *this;
+    }
+
+    /**
+     * Reject incoherent knob combinations with a clear LAORAM_FATAL
+     * (user error, exit 1) instead of a silent fallback: zero window
+     * or queue sizes, negative cost models, and Simulated-mode
+     * requests for machinery that only exists in Concurrent mode
+     * (a preprocessor pool, an emulated prep load). Called by
+     * BatchPipeline's constructor; callers building configs by hand
+     * can invoke it early for fail-fast CLI validation.
+     */
+    void validate() const;
 };
 
 /** Result of a pipelined run. */
@@ -172,6 +230,15 @@ struct PipelineReport
      * preprocessing was entirely off the measured critical path.
      */
     double measuredPrepHiddenFraction = 0.0;
+
+    // ---- Per-request latency (online sources only; see below). ----
+    /**
+     * Request-level latency percentiles, populated when the run's
+     * ServeSource carries per-request timestamps (the session ingress
+     * in src/serve/). All-zero for trace replay, which has no
+     * requests to time.
+     */
+    LatencyReport latency;
 };
 
 /**
@@ -190,12 +257,24 @@ class BatchPipeline
   public:
     BatchPipeline(Laoram &engine, const PipelineConfig &cfg);
 
-    /** Run the full trace; returns the pipeline timing report. */
+    /**
+     * THE run loop: drain @p source window by window through the
+     * two-stage pipeline until it reports end of stream. Every other
+     * entry point (the trace overload below, Laoram::runTrace,
+     * ShardedLaoram's per-shard lanes, the serve/ frontend) funnels
+     * into this method.
+     */
+    PipelineReport run(ServeSource &source);
+
+    /**
+     * Legacy adapter: run a pre-built trace by wrapping it in a
+     * TraceSource sliced at cfg.windowAccesses.
+     */
     PipelineReport run(const std::vector<BlockId> &trace);
 
   private:
-    PipelineReport runConcurrent(const std::vector<BlockId> &trace);
-    PipelineReport runSimulated(const std::vector<BlockId> &trace);
+    PipelineReport runConcurrent(ServeSource &source);
+    PipelineReport runSimulated(ServeSource &source);
 
     /** Fill the modeled report fields from per-window stage costs. */
     static void finishModeledReport(PipelineReport &rep,

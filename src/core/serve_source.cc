@@ -1,0 +1,44 @@
+#include "core/serve_source.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace laoram::core {
+
+TraceSource::TraceSource(const std::vector<BlockId> &trace,
+                         std::uint64_t windowAccesses)
+    : trace(trace),
+      window(windowAccesses == 0
+                 ? std::max<std::uint64_t>(trace.size(), 1)
+                 : windowAccesses)
+{
+}
+
+std::uint64_t
+TraceSource::numWindows() const
+{
+    return (trace.size() + window - 1) / window;
+}
+
+bool
+TraceSource::nextWindow(SourceWindow &out)
+{
+    // A single atomic ticket keeps indices contiguous under any
+    // number of claiming threads; the slice copy is what decouples
+    // the window's lifetime from this source (a few KiB per window,
+    // negligible next to the preprocessing it feeds).
+    const std::uint64_t w =
+        nextIndex.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t start = w * window;
+    if (start >= trace.size())
+        return false;
+    const std::uint64_t stop =
+        std::min<std::uint64_t>(start + window, trace.size());
+    out.windowIndex = w;
+    out.traceOffset = start;
+    out.accesses.assign(trace.begin() + start, trace.begin() + stop);
+    return true;
+}
+
+} // namespace laoram::core

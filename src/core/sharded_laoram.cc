@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -12,6 +13,36 @@
 #include "util/rng.hh"
 
 namespace laoram::core {
+
+namespace {
+
+/** runTrace's ShardedServeSource: one TraceSource per sub-trace. */
+class TraceShardSource final : public ShardedServeSource
+{
+  public:
+    TraceShardSource(std::vector<std::vector<BlockId>> subTraces,
+                     std::uint64_t windowAccesses)
+        : traces(std::move(subTraces))
+    {
+        // deque, not vector: TraceSource pins itself (reference +
+        // atomic members), and the lane sources must never relocate
+        // once handed out.
+        for (const std::vector<BlockId> &t : traces)
+            sources.emplace_back(t, windowAccesses);
+    }
+
+    ServeSource &
+    shardSource(std::uint32_t shard) override
+    {
+        return sources[shard];
+    }
+
+  private:
+    std::vector<std::vector<BlockId>> traces;
+    std::deque<TraceSource> sources;
+};
+
+} // namespace
 
 // ------------------------------------------------------- ShardSplitter
 
@@ -174,13 +205,18 @@ ShardedLaoram::effectiveShardPipeline() const
 ShardedPipelineReport
 ShardedLaoram::runTrace(const std::vector<BlockId> &trace)
 {
+    TraceShardSource source(splitter_.splitTrace(trace),
+                            cfg.pipeline.windowAccesses);
+    return serve(source);
+}
+
+ShardedPipelineReport
+ShardedLaoram::serve(ShardedServeSource &source)
+{
     using WallClock = std::chrono::steady_clock;
 
     ShardedPipelineReport rep;
     rep.shards.resize(cfg.numShards);
-
-    const std::vector<std::vector<BlockId>> sub =
-        splitter_.splitTrace(trace);
 
     const std::uint32_t poolSize = servingPoolSize();
     const PipelineConfig shardPipeline = effectiveShardPipeline();
@@ -203,13 +239,16 @@ ShardedLaoram::runTrace(const std::vector<BlockId> &trace)
                 return;
             try {
                 ShardReport &sr = rep.shards[s];
-                sr.accesses = sub[s].size();
+                const std::uint64_t prepBefore =
+                    engines_[s]->accessesPreprocessed();
                 const mem::TrafficCounters before =
                     engines_[s]->meter().counters();
                 const double simBefore =
                     engines_[s]->meter().clock().nanoseconds();
                 BatchPipeline pipe(*engines_[s], shardPipeline);
-                sr.pipeline = pipe.run(sub[s]);
+                sr.pipeline = pipe.run(source.shardSource(s));
+                sr.accesses = engines_[s]->accessesPreprocessed()
+                              - prepBefore;
                 sr.traffic =
                     engines_[s]->meter().counters().since(before);
                 sr.simNs = engines_[s]->meter().clock().nanoseconds()
@@ -241,7 +280,30 @@ ShardedLaoram::runTrace(const std::vector<BlockId> &trace)
             WallClock::now() - runStart)
             .count());
 
-    // ---- Aggregate: sums for work/traffic, max for makespans. ----
+    aggregateShardReports(
+        rep, poolSize,
+        static_cast<std::uint32_t>(shardPipeline.prepThreads), wallNs);
+
+    // Request latency: merge every lane's histogram (online sources
+    // record one per lane; trace replay has none and leaves it zero).
+    StreamingHistogram merged;
+    source.mergedLatency(merged);
+    if (merged.count() > 0)
+        rep.aggregate.latency = merged.report();
+    return rep;
+}
+
+void
+ShardedLaoram::aggregateShardReports(ShardedPipelineReport &rep,
+                                     std::uint32_t concurrentLanes,
+                                     std::uint32_t prepThreadsPerLane,
+                                     double wallTotalNs)
+{
+    // ---- Sums for work/traffic, max for elapsed time. Serve-thread
+    // waits (fill, stall, reorder head-of-line) are *elapsed* time on
+    // concurrent lanes: they overlap on the wall clock, so the honest
+    // aggregate is the slowest lane, not the sum — summing them used
+    // to report more stall time than the whole run took.
     for (const ShardReport &sr : rep.shards) {
         rep.aggregate.windows += sr.pipeline.windows;
         rep.aggregate.totalPrepNs += sr.pipeline.totalPrepNs;
@@ -251,23 +313,24 @@ ShardedLaoram::runTrace(const std::vector<BlockId> &trace)
             std::max(rep.aggregate.pipelinedNs, sr.pipeline.pipelinedNs);
         rep.aggregate.wallPrepNs += sr.pipeline.wallPrepNs;
         rep.aggregate.wallServeNs += sr.pipeline.wallServeNs;
-        rep.aggregate.wallFillNs += sr.pipeline.wallFillNs;
-        rep.aggregate.wallStallNs += sr.pipeline.wallStallNs;
-        rep.aggregate.wallReorderStallNs +=
-            sr.pipeline.wallReorderStallNs;
+        rep.aggregate.wallFillNs =
+            std::max(rep.aggregate.wallFillNs, sr.pipeline.wallFillNs);
+        rep.aggregate.wallStallNs = std::max(rep.aggregate.wallStallNs,
+                                             sr.pipeline.wallStallNs);
+        rep.aggregate.wallReorderStallNs =
+            std::max(rep.aggregate.wallReorderStallNs,
+                     sr.pipeline.wallReorderStallNs);
         rep.aggregate.wallIoNs += sr.pipeline.wallIoNs;
         rep.traffic += sr.traffic;
         rep.simNs = std::max(rep.simNs, sr.simNs);
         rep.simTotalNs += sr.simNs;
     }
-    rep.aggregate.wallTotalNs = wallNs;
-    // Peak prep threads live at once: only poolSize shard pipelines
-    // are in flight concurrently (a summed per-shard count would
-    // overstate usage when the pool is smaller than the shard
+    rep.aggregate.wallTotalNs = wallTotalNs;
+    // Peak prep threads live at once: only concurrentLanes shard
+    // pipelines are in flight concurrently (a summed per-shard count
+    // would overstate usage when the pool is smaller than the shard
     // count). Per-thread vectors stay per-shard in rep.shards[i].
-    rep.aggregate.prepThreads =
-        poolSize * static_cast<std::uint32_t>(
-                       shardPipeline.prepThreads);
+    rep.aggregate.prepThreads = concurrentLanes * prepThreadsPerLane;
 
     // Hidden fractions over the pooled run: the prep-weighted average
     // of the per-shard fractions (each already clamped to [0, 1]), so
@@ -296,7 +359,6 @@ ShardedLaoram::runTrace(const std::vector<BlockId> &trace)
                            / rep.aggregate.wallServeNs,
                        0.0, 1.0);
     }
-    return rep;
 }
 
 mem::TrafficCounters

@@ -174,10 +174,16 @@ struct ShardReport
 struct ShardedPipelineReport
 {
     /**
-     * Summed PipelineReport: windows/prep/serve totals added up;
-     * wallTotalNs is the measured end-to-end pool wall time (not a
-     * sum); pipelinedNs is max-over-shards; the hidden fractions are
-     * the prep-weighted averages of the per-shard fractions.
+     * Combined PipelineReport. Thread-*work* fields (windows,
+     * prep/serve/IO totals) are summed over shards; *elapsed-time*
+     * fields are not — lanes run concurrently, so wallTotalNs is the
+     * measured end-to-end pool wall time, pipelinedNs and the
+     * wallFill/wallStall/wallReorderStall waits are max-over-lanes
+     * (summing concurrent waits would overstate elapsed time and make
+     * aggregate throughput math dishonest), and the hidden fractions
+     * are the prep-weighted averages of the per-shard fractions.
+     * latency merges every lane's request histogram (online sources
+     * only; all-zero for trace replay).
      */
     PipelineReport aggregate;
 
@@ -237,11 +243,38 @@ class ShardedLaoram
     LaoramConfig shardEngineConfigFor(std::uint32_t shard) const;
 
     /**
-     * Split @p trace across the shards and serve every sub-trace
-     * concurrently, one two-stage pipeline per shard, at most
-     * servingThreads shard pipelines in flight.
+     * THE sharded run loop: serve every shard's window stream
+     * concurrently, one two-stage pipeline per shard lane, at most
+     * servingPoolSize() lanes in flight. Lanes claim shards off an
+     * atomic ticket, so a source whose shard streams only end on
+     * explicit shutdown (the online frontend) needs
+     * servingPoolSize() == numShards — otherwise a waiting lane
+     * starves the unclaimed shards (the frontend enforces this).
+     */
+    ShardedPipelineReport serve(ShardedServeSource &source);
+
+    /**
+     * Legacy adapter over serve(): split @p trace across the shards
+     * and serve each sub-trace as a TraceSource lane.
      */
     ShardedPipelineReport runTrace(const std::vector<BlockId> &trace);
+
+    /**
+     * Fold rep.shards into rep.aggregate / rep.traffic / rep.simNs /
+     * rep.simTotalNs (expects those fields default-initialised).
+     * Sums thread-work fields, maxes elapsed-time fields — the
+     * wallFill/wallStall/wallReorderStall waits of concurrent lanes
+     * overlap in time, so their aggregate is the slowest lane, not
+     * the sum. Exposed for the aggregation regression tests.
+     *
+     * @param concurrentLanes shard pipelines in flight at once
+     * @param prepThreadsPerLane stage-1 pool size of each lane
+     * @param wallTotalNs measured end-to-end pool wall time
+     */
+    static void aggregateShardReports(ShardedPipelineReport &rep,
+                                      std::uint32_t concurrentLanes,
+                                      std::uint32_t prepThreadsPerLane,
+                                      double wallTotalNs);
 
     /**
      * The pipeline knobs each shard actually runs under: cfg.pipeline

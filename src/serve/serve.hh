@@ -1,0 +1,78 @@
+/**
+ * @file
+ * serve() — the one way to run a LAORAM engine over any access
+ * stream.
+ *
+ * Every run is "drive an engine from a ServeSource through the
+ * two-stage pipeline"; these overloads are the uniform spelling of
+ * that for each engine shape (standalone / sharded) and stream shape
+ * (explicit source / pre-built trace). Examples and benches call
+ * serve(); the member entry points (Laoram::runTrace,
+ * BatchPipeline::run, ShardedLaoram::runTrace) remain as documented
+ * adapters over the same code path.
+ *
+ * For online request traffic, construct a ServeFrontend
+ * (serve/frontend.hh) — its start() drives the sharded overload on a
+ * background thread.
+ */
+
+#ifndef LAORAM_SERVE_SERVE_HH
+#define LAORAM_SERVE_SERVE_HH
+
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "core/sharded_laoram.hh"
+
+namespace laoram::serve {
+
+/** Drive @p engine from @p source under the pipeline knobs @p cfg. */
+inline core::PipelineReport
+serve(core::Laoram &engine, core::ServeSource &source,
+      const core::PipelineConfig &cfg)
+{
+    return core::BatchPipeline(engine, cfg).run(source);
+}
+
+/** Trace convenience: wraps @p trace in a TraceSource. */
+inline core::PipelineReport
+serve(core::Laoram &engine, const std::vector<core::BlockId> &trace,
+      const core::PipelineConfig &cfg)
+{
+    return core::BatchPipeline(engine, cfg).run(trace);
+}
+
+/**
+ * Trace convenience matching the engine's own configuration: windows
+ * follow engine.laoramConfig().lookaheadWindow (0 = whole trace) on
+ * the calling thread — the serial reference flow.
+ */
+inline core::PipelineReport
+serve(core::Laoram &engine, const std::vector<core::BlockId> &trace)
+{
+    core::PipelineConfig pc;
+    pc.mode = core::PipelineMode::Simulated;
+    pc.windowAccesses = engine.laoramConfig().lookaheadWindow == 0
+                            ? std::max<std::uint64_t>(trace.size(), 1)
+                            : engine.laoramConfig().lookaheadWindow;
+    return core::BatchPipeline(engine, pc).run(trace);
+}
+
+/** Drive every shard of @p engine from @p source's lanes. */
+inline core::ShardedPipelineReport
+serve(core::ShardedLaoram &engine, core::ShardedServeSource &source)
+{
+    return engine.serve(source);
+}
+
+/** Sharded trace convenience: split, then serve lane per shard. */
+inline core::ShardedPipelineReport
+serve(core::ShardedLaoram &engine,
+      const std::vector<core::BlockId> &trace)
+{
+    return engine.runTrace(trace);
+}
+
+} // namespace laoram::serve
+
+#endif // LAORAM_SERVE_SERVE_HH

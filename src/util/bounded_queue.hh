@@ -113,6 +113,24 @@ class BoundedQueue
     }
 
     /**
+     * Non-blocking push for reject-style admission control: enqueue
+     * @p item only if there is room right now.
+     *
+     * @return false iff the queue was full or closed (item dropped)
+     */
+    bool
+    tryPush(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        if (closed || items.size() >= cap)
+            return false;
+        items.push_back(std::move(item));
+        lock.unlock();
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /**
      * Block until an item is available or the queue is closed and
      * drained.
      *

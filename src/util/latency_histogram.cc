@@ -1,0 +1,164 @@
+#include "util/latency_histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace laoram {
+
+namespace {
+
+/** Position of the highest set bit (v must be non-zero). */
+inline unsigned
+highestBit(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(__builtin_clzll(v));
+}
+
+/**
+ * Tiers needed to cover the full 64-bit range: tier 0 is the exact
+ * linear range [0, kSubBuckets); tier t >= 1 covers
+ * [kSubBuckets << (t-1), kSubBuckets << t).
+ */
+constexpr std::size_t kTiers =
+    64u - StreamingHistogram::kSubBucketBits;
+
+} // namespace
+
+StreamingHistogram::StreamingHistogram()
+    : counts(kTiers * kSubBuckets, 0)
+{
+}
+
+std::size_t
+StreamingHistogram::bucketIndex(std::uint64_t v)
+{
+    if (v < kSubBuckets)
+        return static_cast<std::size_t>(v); // tier 0: exact
+    const unsigned msb = highestBit(v);
+    const unsigned tier = msb - kSubBucketBits + 1;
+    const unsigned shift = msb - kSubBucketBits;
+    const std::uint64_t sub = (v >> shift) - kSubBuckets;
+    return static_cast<std::size_t>(tier) * kSubBuckets
+           + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+StreamingHistogram::bucketLow(std::size_t index)
+{
+    const std::size_t tier = index / kSubBuckets;
+    const std::uint64_t sub = index % kSubBuckets;
+    if (tier == 0)
+        return sub;
+    return (static_cast<std::uint64_t>(kSubBuckets) + sub)
+           << (tier - 1);
+}
+
+std::uint64_t
+StreamingHistogram::bucketWidth(std::size_t index)
+{
+    const std::size_t tier = index / kSubBuckets;
+    return tier == 0 ? 1 : std::uint64_t{1} << (tier - 1);
+}
+
+void
+StreamingHistogram::record(std::int64_t ns)
+{
+    const std::uint64_t v =
+        ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+    ++counts[bucketIndex(v)];
+    if (n == 0) {
+        minNs = maxNs = static_cast<std::int64_t>(v);
+    } else {
+        minNs = std::min(minNs, static_cast<std::int64_t>(v));
+        maxNs = std::max(maxNs, static_cast<std::int64_t>(v));
+    }
+    ++n;
+    total += static_cast<double>(v);
+}
+
+void
+StreamingHistogram::merge(const StreamingHistogram &other)
+{
+    LAORAM_ASSERT(counts.size() == other.counts.size(),
+                  "histogram layouts diverge");
+    if (other.n == 0)
+        return;
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    if (n == 0) {
+        minNs = other.minNs;
+        maxNs = other.maxNs;
+    } else {
+        minNs = std::min(minNs, other.minNs);
+        maxNs = std::max(maxNs, other.maxNs);
+    }
+    n += other.n;
+    total += other.total;
+}
+
+void
+StreamingHistogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    n = 0;
+    total = 0.0;
+    minNs = 0;
+    maxNs = 0;
+}
+
+double
+StreamingHistogram::mean() const
+{
+    return n ? total / static_cast<double>(n) : 0.0;
+}
+
+double
+StreamingHistogram::quantile(double p) const
+{
+    if (n == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+
+    // Rank of the target sample (1-based, nearest-rank with
+    // within-bucket interpolation below).
+    const double rank = p * static_cast<double>(n);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        const std::uint64_t next = seen + counts[i];
+        if (static_cast<double>(next) >= rank) {
+            // Interpolate uniformly inside this bucket.
+            const double into =
+                counts[i] == 0
+                    ? 0.0
+                    : (rank - static_cast<double>(seen))
+                          / static_cast<double>(counts[i]);
+            const double value =
+                static_cast<double>(bucketLow(i))
+                + into * static_cast<double>(bucketWidth(i));
+            return std::clamp(value, static_cast<double>(minNs),
+                              static_cast<double>(maxNs));
+        }
+        seen = next;
+    }
+    return static_cast<double>(maxNs);
+}
+
+LatencyReport
+StreamingHistogram::report() const
+{
+    LatencyReport rep;
+    rep.requests = n;
+    rep.meanNs = mean();
+    rep.p50Ns = quantile(0.50);
+    rep.p90Ns = quantile(0.90);
+    rep.p99Ns = quantile(0.99);
+    rep.p999Ns = quantile(0.999);
+    rep.maxNs = static_cast<double>(maximum());
+    return rep;
+}
+
+} // namespace laoram

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Streaming latency histogram + the shared latency-report section.
+ *
+ * Per-request latency percentiles (p50/p99/p999) for the online
+ * serving frontend need a sketch that is O(1) per sample, bounded in
+ * memory regardless of request count, and mergeable across serving
+ * lanes. StreamingHistogram is an HDR-style log-linear histogram:
+ * values bucket into power-of-two tiers with kSubBuckets linear
+ * sub-buckets each, so the relative quantile error is bounded by
+ * 1/kSubBuckets (~3%) at any magnitude from 1 ns to ~2^63 ns.
+ *
+ * Not internally synchronized: each serving lane records into its own
+ * instance and the lanes' histograms are merge()d after the run — the
+ * same ownership discipline as the per-lane PipelineReport.
+ */
+
+#ifndef LAORAM_UTIL_LATENCY_HISTOGRAM_HH
+#define LAORAM_UTIL_LATENCY_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace laoram {
+
+/**
+ * The shared latency section of the pipeline reports: request-level
+ * wall-clock percentiles next to the existing throughput numbers.
+ * All-zero when the run was trace-driven (no per-request timestamps
+ * exist; only the session ingress populates it).
+ */
+struct LatencyReport
+{
+    std::uint64_t requests = 0; ///< completed requests measured
+
+    double meanNs = 0.0; ///< arithmetic mean request latency
+    double p50Ns = 0.0;  ///< median
+    double p90Ns = 0.0;
+    double p99Ns = 0.0;
+    double p999Ns = 0.0; ///< tail the paper's SLO story cares about
+    double maxNs = 0.0;  ///< exact observed maximum
+};
+
+/** Log-linear streaming histogram over non-negative nanoseconds. */
+class StreamingHistogram
+{
+  public:
+    /** Linear sub-buckets per power-of-two tier (2^kSubBucketBits). */
+    static constexpr unsigned kSubBucketBits = 5;
+    static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+
+    StreamingHistogram();
+
+    /** Record one sample (negative values clamp to zero). */
+    void record(std::int64_t ns);
+
+    /** Fold @p other into this histogram (bucket-wise sum). */
+    void merge(const StreamingHistogram &other);
+
+    void reset();
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const;
+
+    /** Exact extremes (not bucket-quantized). */
+    std::int64_t minimum() const { return n ? minNs : 0; }
+    std::int64_t maximum() const { return n ? maxNs : 0; }
+
+    /**
+     * Approximate p-quantile (0 <= p <= 1), interpolated uniformly
+     * inside the landing bucket and clamped to the exact observed
+     * [min, max]. Zero when empty.
+     */
+    double quantile(double p) const;
+
+    /** The standard report section (mean + p50/p90/p99/p999 + max). */
+    LatencyReport report() const;
+
+  private:
+    static std::size_t bucketIndex(std::uint64_t v);
+    static std::uint64_t bucketLow(std::size_t index);
+    static std::uint64_t bucketWidth(std::size_t index);
+
+    std::vector<std::uint64_t> counts;
+    std::uint64_t n = 0;
+    double total = 0.0;
+    std::int64_t minNs = 0;
+    std::int64_t maxNs = 0;
+};
+
+} // namespace laoram
+
+#endif // LAORAM_UTIL_LATENCY_HISTOGRAM_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared helpers of the randomized determinism suites: capture the
+ * full observable client state of a finished engine once, then check
+ * other engines against it byte for byte. Used by the differential
+ * suite (trace serving paths) and the session-replay suite (online
+ * frontend), so a divergence in either reads the same way.
+ *
+ * Seed control follows the repo-wide convention:
+ *   LAORAM_DIFF_SEED   base seed (default 1)
+ *   LAORAM_DIFF_ITERS  iterations (default 6)
+ */
+
+#ifndef LAORAM_TESTS_INTEGRATION_ENGINE_SNAPSHOT_HH
+#define LAORAM_TESTS_INTEGRATION_ENGINE_SNAPSHOT_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/laoram_client.hh"
+#include "mem/traffic_meter.hh"
+
+namespace laoram::core {
+
+inline std::uint64_t
+envUint(const char *name, std::uint64_t def)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return def;
+    return std::strtoull(value, nullptr, 10);
+}
+
+inline std::uint64_t
+diffSeed()
+{
+    return envUint("LAORAM_DIFF_SEED", 1);
+}
+
+inline std::uint64_t
+diffIters()
+{
+    return envUint("LAORAM_DIFF_ITERS", 6);
+}
+
+/**
+ * The full observable client state of a finished run, captured once
+ * so several legs can be checked against one reference without
+ * re-running (or mutating) it.
+ */
+struct EngineSnapshot
+{
+    mem::TrafficCounters counters;
+    double simNs = 0.0;
+    std::uint64_t stashSize = 0;
+    std::vector<oram::Leaf> posmap;
+    std::uint64_t binsFormed = 0;
+    std::uint64_t futureLinked = 0;
+    std::vector<std::vector<std::uint8_t>> payloads;
+};
+
+inline EngineSnapshot
+snapshotOf(Laoram &engine)
+{
+    EngineSnapshot snap;
+    snap.counters = engine.meter().counters();
+    snap.simNs = engine.meter().clock().nanoseconds();
+    snap.stashSize = engine.stashSize();
+    snap.posmap.reserve(engine.posmapForAudit().size());
+    for (oram::BlockId id = 0; id < engine.posmapForAudit().size();
+         ++id)
+        snap.posmap.push_back(engine.posmapForAudit().get(id));
+    snap.binsFormed = engine.binsFormed();
+    snap.futureLinked = engine.futureLinkedMembers();
+    // Payload readback last: it advances positions and counters (all
+    // captured above) but never the payload bytes themselves, so the
+    // snapshot stays valid for comparing other engines' readbacks.
+    if (engine.laoramConfig().base.payloadBytes > 0) {
+        snap.payloads.resize(engine.laoramConfig().base.numBlocks);
+        for (oram::BlockId id = 0;
+             id < engine.laoramConfig().base.numBlocks; ++id)
+            engine.readBlock(id, snap.payloads[id]);
+    }
+    return snap;
+}
+
+/** Full observable client state must match the reference snapshot. */
+inline void
+expectMatchesSnapshot(const EngineSnapshot &snap, Laoram &engine,
+                      const std::string &what)
+{
+    const auto &ca = snap.counters;
+    const auto &cb = engine.meter().counters();
+    EXPECT_EQ(ca.logicalAccesses, cb.logicalAccesses) << what;
+    EXPECT_EQ(ca.pathReads, cb.pathReads) << what;
+    EXPECT_EQ(ca.pathWrites, cb.pathWrites) << what;
+    EXPECT_EQ(ca.dummyReads, cb.dummyReads) << what;
+    EXPECT_EQ(ca.bytesRead, cb.bytesRead) << what;
+    EXPECT_EQ(ca.bytesWritten, cb.bytesWritten) << what;
+    EXPECT_EQ(ca.stashPeak, cb.stashPeak) << what;
+    EXPECT_DOUBLE_EQ(snap.simNs,
+                     engine.meter().clock().nanoseconds())
+        << what;
+
+    EXPECT_EQ(snap.stashSize, engine.stashSize()) << what;
+    ASSERT_EQ(snap.posmap.size(), engine.posmapForAudit().size())
+        << what;
+    for (oram::BlockId id = 0; id < snap.posmap.size(); ++id) {
+        ASSERT_EQ(snap.posmap[id], engine.posmapForAudit().get(id))
+            << what << ": posmap diverges at block " << id;
+    }
+    EXPECT_EQ(snap.binsFormed, engine.binsFormed()) << what;
+    EXPECT_EQ(snap.futureLinked, engine.futureLinkedMembers()) << what;
+
+    // Payload readback must match byte for byte.
+    std::vector<std::uint8_t> buf;
+    for (oram::BlockId id = 0; id < snap.payloads.size(); ++id) {
+        engine.readBlock(id, buf);
+        ASSERT_EQ(snap.payloads[id], buf)
+            << what << ": payload diverges at block " << id;
+    }
+}
+
+} // namespace laoram::core
+
+#endif // LAORAM_TESTS_INTEGRATION_ENGINE_SNAPSHOT_HH

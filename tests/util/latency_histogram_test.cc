@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/latency_histogram.hh"
+#include "util/rng.hh"
+
+namespace laoram {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeros)
+{
+    StreamingHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    const LatencyReport rep = h.report();
+    EXPECT_EQ(rep.requests, 0u);
+    EXPECT_EQ(rep.p50Ns, 0.0);
+    EXPECT_EQ(rep.p999Ns, 0.0);
+    EXPECT_EQ(rep.maxNs, 0.0);
+}
+
+TEST(LatencyHistogram, ExactInLinearTier)
+{
+    // Values below kSubBuckets land in exact one-wide buckets, so
+    // quantiles are exact (up to within-bucket interpolation).
+    StreamingHistogram h;
+    for (std::int64_t v = 0; v < 16; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 16u);
+    EXPECT_EQ(h.minimum(), 0);
+    EXPECT_EQ(h.maximum(), 15);
+    EXPECT_NEAR(h.quantile(0.5), 7.5, 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 15.0);
+}
+
+TEST(LatencyHistogram, NegativeClampsToZero)
+{
+    StreamingHistogram h;
+    h.record(-100);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.minimum(), 0);
+    EXPECT_EQ(h.maximum(), 0);
+}
+
+TEST(LatencyHistogram, RelativeErrorBounded)
+{
+    // Log-linear bucketing guarantees <= 1/kSubBuckets relative
+    // quantile error at any magnitude; verify against the exact
+    // quantiles of a broad sample set.
+    Rng rng(7);
+    std::vector<std::int64_t> samples;
+    StreamingHistogram h;
+    for (int i = 0; i < 20000; ++i) {
+        // Magnitudes from ~100 ns to ~100 ms.
+        const std::int64_t v = static_cast<std::int64_t>(
+            100 + rng.nextBounded(100'000'000));
+        samples.push_back(v);
+        h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double p : {0.5, 0.9, 0.99, 0.999}) {
+        const double exact = static_cast<double>(
+            samples[static_cast<std::size_t>(
+                p * (samples.size() - 1))]);
+        const double approx = h.quantile(p);
+        EXPECT_NEAR(approx, exact, exact * 0.05)
+            << "p=" << p << " exact=" << exact
+            << " approx=" << approx;
+    }
+    EXPECT_EQ(h.maximum(), samples.back());
+}
+
+TEST(LatencyHistogram, QuantilesMonotone)
+{
+    Rng rng(11);
+    StreamingHistogram h;
+    for (int i = 0; i < 5000; ++i)
+        h.record(static_cast<std::int64_t>(rng.nextBounded(1u << 20)));
+    double prev = 0.0;
+    for (const double p :
+         {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+        const double q = h.quantile(p);
+        EXPECT_GE(q, prev) << "p=" << p;
+        prev = q;
+    }
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording)
+{
+    Rng rng(13);
+    StreamingHistogram a, b, combined;
+    for (int i = 0; i < 3000; ++i) {
+        const std::int64_t va =
+            static_cast<std::int64_t>(rng.nextBounded(1u << 16));
+        const std::int64_t vb = static_cast<std::int64_t>(
+            (1u << 20) + rng.nextBounded(1u << 24));
+        a.record(va);
+        combined.record(va);
+        b.record(vb);
+        combined.record(vb);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+    EXPECT_EQ(a.minimum(), combined.minimum());
+    EXPECT_EQ(a.maximum(), combined.maximum());
+    for (const double p : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_DOUBLE_EQ(a.quantile(p), combined.quantile(p));
+}
+
+TEST(LatencyHistogram, MergeIntoEmptyAndWithEmpty)
+{
+    StreamingHistogram a, b, empty;
+    b.record(42);
+    a.merge(b); // into empty
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.minimum(), 42);
+    a.merge(empty); // with empty
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.maximum(), 42);
+}
+
+TEST(LatencyHistogram, ReportSectionConsistent)
+{
+    StreamingHistogram h;
+    for (std::int64_t v = 1; v <= 1000; ++v)
+        h.record(v * 1000); // 1 us .. 1 ms
+    const LatencyReport rep = h.report();
+    EXPECT_EQ(rep.requests, 1000u);
+    EXPECT_GT(rep.meanNs, 0.0);
+    EXPECT_LE(rep.p50Ns, rep.p90Ns);
+    EXPECT_LE(rep.p90Ns, rep.p99Ns);
+    EXPECT_LE(rep.p99Ns, rep.p999Ns);
+    EXPECT_LE(rep.p999Ns, rep.maxNs);
+    EXPECT_DOUBLE_EQ(rep.maxNs, 1'000'000.0);
+}
+
+TEST(LatencyHistogram, ResetClears)
+{
+    StreamingHistogram h;
+    h.record(123456);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    h.record(7);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.maximum(), 7);
+}
+
+} // namespace
+} // namespace laoram
