@@ -91,9 +91,11 @@ main(int argc, char **argv)
     scfg.engine.base.profile = oram::BucketProfile::fat(4);
     scfg.engine.base.seed = 7;
     // Each shard tree derives its own backing file from this path
-    // (shardEngineConfig suffixes the shard seed).
-    scfg.engine.base.storage =
-        storage::storageConfigFromArgs(storageArgs);
+    // (shardEngineConfig suffixes the shard seed); the checkpoint
+    // sidecar follows the same rule, with the ShardedLaoram manifest
+    // at the unsuffixed base path.
+    scfg.engine.base.storage = storage::storageConfigFromArgs(
+        storageArgs, &scfg.engine.base.checkpoint);
     scfg.engine.superblockSize = 8;
     scfg.engine.batchAccesses = tables.numTables() * 16; // 16 samples
     scfg.numShards = numShards;
@@ -110,8 +112,23 @@ main(int argc, char **argv)
     core::ShardedLaoram laoram(
         scfg, core::ShardSplitter::fromAssignment(
                   tables.blockShardAssignment(plan), numShards));
+    if (scfg.engine.base.checkpoint.restore) {
+        std::cout << "restored " << numShards
+                  << "-shard trusted state from "
+                  << scfg.engine.base.checkpoint.path
+                  << " (manifest + per-shard sidecars)\n";
+    }
 
     const auto rep = laoram.runTrace(trace);
+
+    // Durable shutdown: manifest at the base path, one engine sidecar
+    // per shard tree, so a --restore --storage-keep run resumes the
+    // trained store.
+    if (!scfg.engine.base.checkpoint.path.empty()) {
+        laoram.checkpointToFile(scfg.engine.base.checkpoint.path);
+        std::cout << "checkpointed sharded trusted state to "
+                  << scfg.engine.base.checkpoint.path << "\n";
+    }
 
     std::cout << "sharding: " << numShards
               << " trees; tables per shard:";
@@ -146,6 +163,13 @@ main(int argc, char **argv)
 
     oram::EngineConfig pcfg = scfg.engine.base;
     pcfg.profile = oram::BucketProfile::uniform(4);
+    // The throwaway baseline is a DRAM comparison run, never a
+    // durable store: no tree file at the (unsuffixed) base path to
+    // collide with across --storage-keep runs, and no checkpoint —
+    // the sidecar at the base path is the *sharded manifest*, not an
+    // engine snapshot. Simulated-time numbers are backend-invariant.
+    pcfg.storage = {};
+    pcfg.checkpoint = {};
     oram::PathOram baseline(pcfg);
     baseline.runTrace(trace);
 

@@ -91,7 +91,8 @@ main(int argc, char **argv)
     cfg.payloadBytes = kValueBytes;
     cfg.encrypt = true;
     cfg.seed = 1337;
-    cfg.storage = storage::storageConfigFromArgs(storageArgs);
+    cfg.storage =
+        storage::storageConfigFromArgs(storageArgs, &cfg.checkpoint);
 
     std::unique_ptr<oram::OramEngine> engine;
     if (*ring) {
@@ -106,6 +107,15 @@ main(int argc, char **argv)
               << storage::backendKindName(cfg.storage.kind) << "\n\n";
 
     ObliviousKv kv(*engine, kValueBytes);
+
+    // A restored run proves durability before the session writes
+    // anything: the value survives from the previous process's
+    // checkpoint (tree file + trusted-state sidecar).
+    if (cfg.checkpoint.restore) {
+        std::cout << "restored trusted client state from "
+                  << cfg.checkpoint.path << "\nget(7)  -> \""
+                  << kv.get(7) << "\" (from the previous run)\n\n";
+    }
 
     // A scripted session.
     kv.put(7, "the user watched: comedies");
@@ -123,6 +133,15 @@ main(int argc, char **argv)
               << " uniformly distributed block reads — the access "
                  "pattern reveals\nneither keys, nor values, nor "
                  "whether operations repeat (Section VI).\n";
+
+    // Durable shutdown: snapshot the trusted client state next to the
+    // persistent tree so a later --restore run resumes this store.
+    if (!cfg.checkpoint.path.empty()) {
+        engine->checkpointToFile(cfg.checkpoint.path);
+        std::cout << "\ncheckpointed trusted client state to "
+                  << cfg.checkpoint.path
+                  << " (restore with --restore --storage-keep)\n";
+    }
 
     // Optional bulk phase: a batch read-heavy workload (cache warmup,
     // export, audit scan) served through the look-ahead pipeline —

@@ -12,6 +12,7 @@ Laoram::Laoram(const LaoramConfig &cfg)
 {
     LAORAM_ASSERT(lcfg.superblockSize >= 1,
                   "superblock size must be >= 1");
+    restoreAtConstructionIfConfigured();
 }
 
 std::string
@@ -73,6 +74,7 @@ Laoram::serveWindow(const PreprocessResult &window)
     nBins += window.bins.size();
     nPreprocessed += window.totalAccesses;
     nFutureLinked += window.futureLinked;
+    ++nWindowsServed;
 
     if (lcfg.batchAccesses == 0) {
         for (const SuperblockBin &bin : window.bins)
@@ -214,6 +216,35 @@ Laoram::accessBin(const SuperblockBin &bin)
 
     backgroundEvict();
     mtr.observeStashSize(stash_.size());
+}
+
+void
+Laoram::saveClientState(serde::Serializer &s) const
+{
+    TreeOramBase::saveClientState(s);
+    // superblockSize shapes bin formation, so it is part of the
+    // geometry a snapshot must agree on.
+    s.u64(lcfg.superblockSize);
+    s.u64(nBins);
+    s.u64(nPreprocessed);
+    s.u64(nFutureLinked);
+    s.u64(nWindowsServed);
+}
+
+void
+Laoram::restoreClientState(serde::Deserializer &d)
+{
+    TreeOramBase::restoreClientState(d);
+    const std::uint64_t sbSize = d.u64();
+    if (sbSize != lcfg.superblockSize)
+        throw serde::SnapshotError(
+            "snapshot superblock size " + std::to_string(sbSize)
+            + " does not match this engine's "
+            + std::to_string(lcfg.superblockSize));
+    nBins = d.u64();
+    nPreprocessed = d.u64();
+    nFutureLinked = d.u64();
+    nWindowsServed = d.u64();
 }
 
 } // namespace laoram::core

@@ -137,6 +137,19 @@ class Laoram final : public oram::TreeOramBase
     std::uint64_t accessesPreprocessed() const { return nPreprocessed; }
     std::uint64_t futureLinkedMembers() const { return nFutureLinked; }
 
+    /**
+     * Windows fully served so far (via serveWindow). After a
+     * restoreFrom this tells the caller where to resume a trace:
+     * replay the remaining windows with
+     * PipelineConfig::firstWindowIndex = windowsServed() and the
+     * per-window seed streams line up byte for byte.
+     */
+    std::uint64_t windowsServed() const { return nWindowsServed; }
+
+    /** Adds superblock/look-ahead counters to the tree sections. */
+    void saveClientState(serde::Serializer &s) const override;
+    void restoreClientState(serde::Deserializer &d) override;
+
   private:
     LaoramConfig lcfg;
     TouchFn touchFn;
@@ -144,6 +157,7 @@ class Laoram final : public oram::TreeOramBase
     std::uint64_t nBins = 0;
     std::uint64_t nPreprocessed = 0;
     std::uint64_t nFutureLinked = 0;
+    std::uint64_t nWindowsServed = 0;
 
     std::vector<oram::Leaf> scratchLeaves;
 

@@ -91,7 +91,8 @@ BatchPipeline::run(const std::vector<BlockId> &trace)
 {
     if (trace.empty())
         return PipelineReport{};
-    TraceSource source(trace, cfg.windowAccesses);
+    TraceSource source(trace, cfg.windowAccesses,
+                       cfg.firstWindowIndex);
     return run(source);
 }
 
@@ -162,6 +163,8 @@ BatchPipeline::runSimulated(ServeSource &source)
         accessNs.push_back(engine.meter().clock().nanoseconds()
                            - before);
         source.windowServed(sw.windowIndex);
+        if (cfg.windowBoundaryHook)
+            cfg.windowBoundaryHook(sw.windowIndex);
     }
 
     rep.wallIoNs = static_cast<double>(engine.storageForAudit()
@@ -178,7 +181,8 @@ BatchPipeline::runConcurrent(ServeSource &source)
     PipelineReport rep;
     const std::size_t poolSize = cfg.prepThreads;
 
-    ReorderWindow<PreparedWindow> reorder(cfg.queueDepth);
+    ReorderWindow<PreparedWindow> reorder(cfg.queueDepth,
+                                          cfg.firstWindowIndex);
     std::mutex errorMu;
     std::exception_ptr prepError;
 
@@ -299,6 +303,11 @@ BatchPipeline::runConcurrent(ServeSource &source)
             accessNsModeled.push_back(
                 engine.meter().clock().nanoseconds() - simBefore);
             source.windowServed(item.sched.windowIndex);
+            // Window boundary: the serving thread owns all engine
+            // state here (stage 1 only builds schedules), so the
+            // quiesce hook may checkpoint() safely.
+            if (cfg.windowBoundaryHook)
+                cfg.windowBoundaryHook(item.sched.windowIndex);
         }
     } catch (...) {
         reorder.close(); // unblock the pool, then re-raise

@@ -37,6 +37,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/laoram_client.hh"
@@ -98,6 +99,30 @@ struct PipelineConfig
      */
     double prepLoadNsPerAccess = 0.0;
 
+    /**
+     * Stream position of the first window this run serves. 0 (the
+     * default) is a fresh trace; a restored engine resuming a trace
+     * mid-stream passes its windowsServed() here, and the trace
+     * overload of run() replays only the remaining windows — with the
+     * original stream's window numbering, so every window-derived
+     * preprocessor path stream (Preprocessor::windowSeed) matches the
+     * uninterrupted run byte for byte. Callers handing run() a custom
+     * ServeSource must make the source number its windows from this
+     * same base.
+     */
+    std::uint64_t firstWindowIndex = 0;
+
+    /**
+     * Window-boundary quiesce hook, fired on the serving thread right
+     * after window @p w finished serving (after the source's
+     * windowServed). Between windows the serving thread owns every
+     * piece of engine state — stage-1 preprocessor threads never
+     * touch the engine — so this is the safe point to checkpoint():
+     * the ReorderWindow sequencing guarantees no later window has
+     * started. Null (default) fires nothing.
+     */
+    std::function<void(std::uint64_t w)> windowBoundaryHook;
+
     // ---- Named setter-style defaults: build a config by chaining
     // ---- only the knobs that differ from the defaults, e.g.
     // ----   PipelineConfig{}.withWindowAccesses(256).withPrepThreads(4)
@@ -140,6 +165,20 @@ struct PipelineConfig
     withPrepLoad(double nsPerAccess)
     {
         prepLoadNsPerAccess = nsPerAccess;
+        return *this;
+    }
+
+    PipelineConfig &
+    withFirstWindow(std::uint64_t v)
+    {
+        firstWindowIndex = v;
+        return *this;
+    }
+
+    PipelineConfig &
+    withWindowBoundaryHook(std::function<void(std::uint64_t)> hook)
+    {
+        windowBoundaryHook = std::move(hook);
         return *this;
     }
 

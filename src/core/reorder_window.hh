@@ -116,8 +116,14 @@ class ReorderWindow
         ReorderWindow<T> *window = nullptr;
     };
 
-    explicit ReorderWindow(std::size_t capacity)
-        : slots(capacity), cap(capacity)
+    /**
+     * @param firstSeq the sequence number the consumer cursor starts
+     *        at — 0 for fresh streams, the resume window index when a
+     *        restored engine continues a trace mid-stream.
+     */
+    explicit ReorderWindow(std::size_t capacity,
+                           std::uint64_t firstSeq = 0)
+        : slots(capacity), cap(capacity), nextSeq(firstSeq)
     {
         LAORAM_ASSERT(capacity >= 1,
                       "reorder window needs capacity >= 1");

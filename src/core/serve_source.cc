@@ -7,11 +7,13 @@
 namespace laoram::core {
 
 TraceSource::TraceSource(const std::vector<BlockId> &trace,
-                         std::uint64_t windowAccesses)
+                         std::uint64_t windowAccesses,
+                         std::uint64_t firstWindowIndex)
     : trace(trace),
       window(windowAccesses == 0
                  ? std::max<std::uint64_t>(trace.size(), 1)
-                 : windowAccesses)
+                 : windowAccesses),
+      firstWindow(firstWindowIndex)
 {
 }
 
@@ -35,8 +37,11 @@ TraceSource::nextWindow(SourceWindow &out)
         return false;
     const std::uint64_t stop =
         std::min<std::uint64_t>(start + window, trace.size());
-    out.windowIndex = w;
-    out.traceOffset = start;
+    // Resumed streams continue the original numbering: window index
+    // and trace offset are both rebased past the windows the engine
+    // already served before its checkpoint.
+    out.windowIndex = firstWindow + w;
+    out.traceOffset = firstWindow * window + start;
     out.accesses.assign(trace.begin() + start, trace.begin() + stop);
     return true;
 }

@@ -108,9 +108,18 @@ class ServeSource
 class TraceSource final : public ServeSource
 {
   public:
-    /** @param windowAccesses accesses per window; 0 = whole trace. */
+    /**
+     * @param windowAccesses accesses per window; 0 = whole trace.
+     * @param firstWindowIndex stream position of the trace's first
+     *        window: 0 for a fresh run; a restored engine resuming
+     *        mid-stream passes its windowsServed() and hands this
+     *        source only the *remaining* trace suffix, so emitted
+     *        window indices (and trace offsets) continue the original
+     *        stream's numbering.
+     */
     TraceSource(const std::vector<BlockId> &trace,
-                std::uint64_t windowAccesses);
+                std::uint64_t windowAccesses,
+                std::uint64_t firstWindowIndex = 0);
 
     bool nextWindow(SourceWindow &out) override;
 
@@ -120,6 +129,7 @@ class TraceSource final : public ServeSource
   private:
     const std::vector<BlockId> &trace;
     std::uint64_t window;
+    std::uint64_t firstWindow;
     std::atomic<std::uint64_t> nextIndex{0};
 };
 

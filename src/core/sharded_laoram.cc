@@ -99,6 +99,38 @@ ShardSplitter::splitTrace(const std::vector<BlockId> &trace) const
     return sub;
 }
 
+void
+ShardSplitter::save(serde::Serializer &s) const
+{
+    s.u32(nShards);
+    s.u64(shardOf_.size());
+    for (std::uint32_t shard : shardOf_)
+        s.u32(shard);
+}
+
+ShardSplitter
+ShardSplitter::restore(serde::Deserializer &d)
+{
+    const std::uint32_t shards = d.u32();
+    const std::uint64_t blocks = d.u64();
+    if (shards == 0)
+        throw serde::SnapshotError(
+            "shard manifest declares zero shards");
+    if (blocks == 0)
+        throw serde::SnapshotError(
+            "shard manifest declares an empty block space");
+    std::vector<std::uint32_t> assignment(blocks);
+    for (std::uint64_t g = 0; g < blocks; ++g) {
+        assignment[g] = d.u32();
+        if (assignment[g] >= shards)
+            throw serde::SnapshotError(
+                "shard manifest assigns block " + std::to_string(g)
+                + " to shard " + std::to_string(assignment[g])
+                + " of " + std::to_string(shards));
+    }
+    return fromAssignment(std::move(assignment), shards);
+}
+
 // ------------------------------------------------------ ShardedLaoram
 
 std::uint64_t
@@ -131,7 +163,122 @@ ShardedLaoram::ShardedLaoram(const ShardedLaoramConfig &cfg,
                   "splitter covers ", splitter_.numBlocks(),
                   " blocks, config expects ",
                   cfg.engine.base.numBlocks);
+    // Restore-or-fresh: a configured restore replaces the splitter
+    // with the manifest's recorded assignment *before* the engines
+    // are built, so per-shard geometry derives from the restored
+    // routing (which may be a custom or post-reshard table, not the
+    // default hash split).
+    if (cfg.engine.base.checkpoint.restore
+        && !cfg.engine.base.checkpoint.path.empty())
+        restoreManifest();
     buildEngines();
+}
+
+void
+ShardedLaoram::restoreManifest()
+{
+    const std::string &path = cfg.engine.base.checkpoint.path;
+    const std::vector<std::uint8_t> payload = serde::unseal(
+        serde::SnapshotKind::ShardedManifest, serde::readFile(path));
+    serde::Deserializer d(payload);
+    ShardSplitter restored = ShardSplitter::restore(d);
+    if (!d.atEnd())
+        throw serde::SnapshotError(
+            "shard manifest has trailing bytes after the assignment "
+            "table");
+    if (restored.numShards() != cfg.numShards)
+        throw serde::SnapshotError(
+            "shard manifest records " + std::to_string(restored.numShards())
+            + " shards but this deployment is configured for "
+            + std::to_string(cfg.numShards));
+    if (restored.numBlocks() != cfg.engine.base.numBlocks)
+        throw serde::SnapshotError(
+            "shard manifest covers " + std::to_string(restored.numBlocks())
+            + " blocks but this deployment is configured for "
+            + std::to_string(cfg.engine.base.numBlocks));
+    splitter_ = std::move(restored);
+}
+
+std::string
+ShardedLaoram::shardCheckpointPath(const std::string &basePath,
+                                   std::uint32_t shard) const
+{
+    // Mirror oram::shardEngineConfig's sidecar suffix so the engines
+    // built from shardEngineConfigFor restore exactly these files.
+    return basePath + ".shard-"
+           + std::to_string(shardSeed(cfg.engine.base.seed, shard));
+}
+
+void
+ShardedLaoram::checkpointToFile(const std::string &basePath)
+{
+    LAORAM_ASSERT(!basePath.empty(),
+                  "sharded checkpoint needs a base path");
+    serde::Serializer body;
+    splitter_.save(body);
+    serde::writeFileAtomic(
+        basePath,
+        serde::seal(serde::SnapshotKind::ShardedManifest, body.take()));
+    for (std::uint32_t s = 0; s < cfg.numShards; ++s)
+        engines_[s]->checkpointToFile(shardCheckpointPath(basePath, s));
+}
+
+void
+ShardedLaoram::reshard(std::uint32_t newShards)
+{
+    reshard(ShardSplitter::hashed(splitter_.numBlocks(), newShards));
+}
+
+void
+ShardedLaoram::reshard(ShardSplitter newSplitter)
+{
+    LAORAM_ASSERT(newSplitter.numBlocks() == splitter_.numBlocks(),
+                  "reshard must preserve the block space: new splitter "
+                  "covers ",
+                  newSplitter.numBlocks(), " blocks, engine has ",
+                  splitter_.numBlocks());
+
+    const std::uint64_t numBlocks = splitter_.numBlocks();
+    const bool hasPayloads = cfg.engine.base.payloadBytes > 0;
+
+    // Drain: pull every logical block out through its source shard's
+    // oblivious read path. The source engines are torn down right
+    // after, so the drain's position-map churn is throwaway — only
+    // the payload bytes migrate.
+    std::vector<std::vector<std::uint8_t>> payloads;
+    if (hasPayloads) {
+        payloads.resize(numBlocks);
+        for (BlockId g = 0; g < numBlocks; ++g)
+            engines_[splitter_.shardOf(g)]->readBlock(
+                splitter_.localId(g), payloads[g]);
+    }
+
+    // Tear down the source engines *before* building the targets:
+    // shard seeds (and thus storage/sidecar paths) are pure functions
+    // of (base seed, shard index), so source and target shard files
+    // can collide on disk — destruction flushes and unmaps the old
+    // trees first, and the fresh build below may then safely
+    // re-initialise those paths.
+    engines_.clear();
+    splitter_ = std::move(newSplitter);
+    cfg.numShards = splitter_.numShards();
+    // The rebuilt engines' state comes from the migration, not from
+    // stale artifacts: never reopen a pre-reshard tree (its geometry
+    // is dead) and never restore a pre-reshard sidecar.
+    cfg.engine.base.storage.keepExisting = false;
+    cfg.engine.base.checkpoint.restore = false;
+    buildEngines();
+
+    // Re-insert in global-id order through the target engines' write
+    // path, then re-install the user's touch callback on the new
+    // engines.
+    if (hasPayloads) {
+        for (BlockId g = 0; g < numBlocks; ++g)
+            engines_[splitter_.shardOf(g)]->writeBlock(
+                splitter_.localId(g), payloads[g]);
+    }
+    if (touchFn_)
+        setTouchCallback(touchFn_);
 }
 
 LaoramConfig
@@ -162,6 +309,7 @@ ShardedLaoram::buildEngines()
 void
 ShardedLaoram::setTouchCallback(Laoram::TouchFn fn)
 {
+    touchFn_ = fn; // kept so reshard() can re-install on new engines
     for (std::uint32_t s = 0; s < cfg.numShards; ++s) {
         if (!fn) {
             engines_[s]->setTouchCallback(nullptr);

@@ -30,10 +30,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/pipeline.hh"
 #include "mem/traffic_meter.hh"
+#include "util/serde.hh"
 
 namespace laoram::core {
 
@@ -108,6 +110,20 @@ class ShardSplitter
      */
     std::vector<std::vector<BlockId>>
     splitTrace(const std::vector<BlockId> &trace) const;
+
+    /**
+     * Checkpoint support: serialize the assignment table (shard
+     * count + per-block shard), the source of truth a restored or
+     * resharded deployment rebuilds its routing from.
+     */
+    void save(serde::Serializer &s) const;
+
+    /**
+     * Rebuild a splitter from save()'s bytes. Throws SnapshotError
+     * (not a fatal assert) on a malformed table so a corrupt manifest
+     * is rejected loudly instead of aborting the process.
+     */
+    static ShardSplitter restore(serde::Deserializer &d);
 
   private:
     ShardSplitter(std::vector<std::uint32_t> shardOfBlock,
@@ -288,9 +304,60 @@ class ShardedLaoram
 
     /**
      * Payload hook applied at bin-access time, called with the
-     * *global* block id (see class comment for thread-safety).
+     * *global* block id (see class comment for thread-safety). The
+     * callback survives reshard(): it is re-installed on the rebuilt
+     * shard engines.
      */
     void setTouchCallback(Laoram::TouchFn fn);
+
+    /**
+     * Snapshot the whole sharded deployment to client-side sidecar
+     * files: a ShardedManifest frame at @p basePath holding the
+     * splitter assignment table, plus each shard engine's own Engine
+     * frame at shardCheckpointPath(basePath, shard). Call between
+     * serve() runs only — serve() returning is the quiesce point
+     * (every lane's serving thread has delivered its last window).
+     *
+     * Restore path: construct a ShardedLaoram whose
+     * cfg.engine.base.checkpoint = {basePath, restore=true} over the
+     * matching reopened shard trees; the manifest is validated and
+     * replaces the splitter before the engines are built, and each
+     * shard engine restores its own sidecar during construction.
+     */
+    void checkpointToFile(const std::string &basePath);
+
+    /**
+     * Shard @p shard's sidecar file for a manifest at @p basePath:
+     * the same ".shard-<derived seed>" suffix rule
+     * oram::shardEngineConfig applies to storage and checkpoint
+     * paths, so manifest and engine frames restore consistently.
+     */
+    std::string shardCheckpointPath(const std::string &basePath,
+                                    std::uint32_t shard) const;
+
+    /**
+     * Elastic reshard N -> M over the same logical block space, at a
+     * window boundary (call between serve() runs, never while one is
+     * in flight). Drains every source shard through its engine's
+     * oblivious read path, tears the source engines down (flushing
+     * and unmapping their storage), rebuilds M hash-sharded engines,
+     * and re-inserts every payload through the target engine's write
+     * path — so lookups after reshard return byte-identical payloads.
+     * With payloadBytes == 0 (pattern-level simulation) there is no
+     * payload state to migrate and reshard reduces to the rebuild.
+     *
+     * Storage note: rebuilt engines always initialise fresh trees
+     * (keepExisting is cleared) — shard seeds are a pure function of
+     * (base seed, shard index), so source and target shard files can
+     * collide on disk and the old tree bytes are dead after the
+     * drain. Checkpoint restore flags are likewise cleared: the
+     * rebuilt engines' state comes from the migration, not from
+     * pre-reshard sidecars (whose geometry no longer matches).
+     */
+    void reshard(std::uint32_t newShards);
+
+    /** Reshard onto an explicit splitter (custom routing). */
+    void reshard(ShardSplitter newSplitter);
 
     std::uint32_t numShards() const { return splitter_.numShards(); }
     const ShardSplitter &splitter() const { return splitter_; }
@@ -311,9 +378,19 @@ class ShardedLaoram
   private:
     void buildEngines();
 
+    /**
+     * Construction-time restore: read + validate the manifest at
+     * cfg.engine.base.checkpoint.path and replace splitter_ with the
+     * recorded assignment (must agree with cfg on shard and block
+     * counts). Runs before buildEngines so shard geometry derives
+     * from the restored routing.
+     */
+    void restoreManifest();
+
     ShardedLaoramConfig cfg;
     ShardSplitter splitter_;
     std::vector<std::unique_ptr<Laoram>> engines_;
+    Laoram::TouchFn touchFn_;
 };
 
 } // namespace laoram::core

@@ -140,6 +140,15 @@ TrafficMeter::reset()
 }
 
 void
+TrafficMeter::restoreState(const TrafficCounters &counters,
+                           std::uint64_t clockPs)
+{
+    c = counters;
+    clk.reset();
+    clk.advancePs(clockPs);
+}
+
+void
 TrafficMeter::registerStats(StatRegistry &registry,
                             const std::string &prefix) const
 {

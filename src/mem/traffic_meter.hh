@@ -103,6 +103,14 @@ class TrafficMeter
 
     void reset();
 
+    /**
+     * Checkpoint support: overwrite all counters and rewind the
+     * simulated clock to @p clockPs picoseconds, so a restored
+     * engine's meter continues exactly where the snapshot left off.
+     */
+    void restoreState(const TrafficCounters &counters,
+                      std::uint64_t clockPs);
+
     /** Human-readable one-block summary. */
     void printSummary(std::ostream &os, const char *label) const;
 

@@ -25,6 +25,7 @@
 #include "oram/tree_geometry.hh"
 #include "oram/types.hh"
 #include "util/rng.hh"
+#include "util/serde.hh"
 
 namespace laoram::oram {
 
@@ -46,6 +47,15 @@ struct EngineConfig
      * or a persistent mmap file. See storage::StorageConfig.
      */
     storage::StorageConfig storage{};
+
+    /**
+     * Trusted client-state snapshot sidecar (see
+     * storage::CheckpointConfig). With restore set, the engine
+     * reloads its position map / stash / RNG streams / meter from
+     * checkpoint.path at construction instead of initialising fresh
+     * — the only way a keepExisting tree reopen is serveable.
+     */
+    storage::CheckpointConfig checkpoint{};
 };
 
 /**
@@ -116,7 +126,45 @@ class OramEngine
     const mem::TrafficMeter &meter() const { return mtr; }
     const EngineConfig &config() const { return cfg; }
 
+    /**
+     * Serialize all trusted client state (geometry header, meter,
+     * RNG; subclasses append position map, stash, their own
+     * counters). Call only at a quiescent point — for pipelined runs
+     * that means a window boundary, where the serving thread owns
+     * every piece of engine state (see PipelineConfig's
+     * window-boundary hook).
+     */
+    virtual void saveClientState(serde::Serializer &s) const;
+
+    /**
+     * Inverse of saveClientState. Throws serde::SnapshotError when
+     * the snapshot's geometry header does not match this engine's
+     * configuration (wrong-geometry snapshots are refused, never
+     * half-applied: validation happens before any state is touched).
+     */
+    virtual void restoreClientState(serde::Deserializer &d);
+
+    /**
+     * Versioned, checksummed snapshot of the trusted client state,
+     * flushing server storage first so tree and snapshot land on the
+     * same boundary. The blob restores via restoreFrom() into an
+     * engine built over the *same* persisted tree.
+     */
+    std::vector<std::uint8_t> checkpoint();
+
+    /** Validate + apply a checkpoint() blob; throws on any mismatch. */
+    void restoreFrom(const std::vector<std::uint8_t> &blob);
+
+    /** checkpoint() to a client-side sidecar file (atomic rename). */
+    void checkpointToFile(const std::string &path);
+
+    /** restoreFrom() the sidecar file at @p path. */
+    void restoreFromFile(const std::string &path);
+
   protected:
+    /** Flush hook so checkpoint() can quiesce owned server storage. */
+    virtual void quiesceStorage() {}
+
     /**
      * Apply a logical operation to a stash-resident block. Payloads are
      * kept at exactly payloadBytes (zero-padded), so reads after short
@@ -132,13 +180,25 @@ class OramEngine
 };
 
 /**
- * Fatal when @p storage attached to a previous run's tree
- * (keepExisting): engines keep their position map and stash in
- * memory, so a reopened tree cannot be served until client-state
- * persistence exists. Every engine that owns a ServerStorage calls
- * this from its constructor.
+ * The restore-or-fresh decision every storage-owning engine makes at
+ * construction. Fresh storage with no restore request: proceed. A
+ * keepExisting reopen is serveable only when a matching client-state
+ * snapshot is configured (cfg.checkpoint.restore with an existing
+ * snapshot file); otherwise — and when restore is requested against
+ * a fresh tree — this fatals with a message naming the
+ * checkpoint/restore flow and the exact CLI flags.
  */
-void requireFreshStorage(const ServerStorage &storage);
+void resolveRestoreOrFresh(const ServerStorage &storage,
+                           const EngineConfig &cfg);
+
+/**
+ * Fatal when @p storage attached to a previous run's tree
+ * (keepExisting) under an engine with no checkpoint/restore support
+ * (@p engineName: RingORAM, recursive PathORAM). Points at the
+ * LAORAM checkpoint flow instead of dead-ending.
+ */
+void requireFreshStorage(const ServerStorage &storage,
+                         const char *engineName);
 
 /**
  * Shared machinery for the PathORAM-family engines: server storage,
@@ -160,7 +220,23 @@ class TreeOramBase : public OramEngine
     /** Mutable storage access for installing test access sinks. */
     ServerStorage &storageForTest() { return storage_; }
 
+    /** Adds position map + stash to the base engine sections. */
+    void saveClientState(serde::Serializer &s) const override;
+    void restoreClientState(serde::Deserializer &d) override;
+
   protected:
+    void quiesceStorage() override { storage_.flush(); }
+
+    /**
+     * Final-class constructors call this as their *last* step: when
+     * cfg.checkpoint.restore is configured it reloads the snapshot
+     * (the base constructor already vetted the storage side via
+     * resolveRestoreOrFresh). Must run from the most-derived
+     * constructor so the full restoreClientState override chain is
+     * in place.
+     */
+    void restoreAtConstructionIfConfigured();
+
     /**
      * Fetch @p id's stash entry, creating a zero-filled one on first
      * touch (blocks are lazily initialised: an unwritten block reads as

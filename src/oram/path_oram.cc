@@ -4,7 +4,10 @@
 
 namespace laoram::oram {
 
-PathOram::PathOram(const EngineConfig &cfg) : TreeOramBase(cfg) {}
+PathOram::PathOram(const EngineConfig &cfg) : TreeOramBase(cfg)
+{
+    restoreAtConstructionIfConfigured();
+}
 
 void
 PathOram::access(BlockId id, AccessOp op, const std::uint8_t *in,

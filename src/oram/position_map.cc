@@ -45,4 +45,25 @@ PositionMap::setBatch(const BlockId *ids, const Leaf *leaves,
         m[ids[i]] = leaves[i];
 }
 
+void
+PositionMap::save(serde::Serializer &s) const
+{
+    s.u64(map.size());
+    for (Leaf leaf : map)
+        s.u64(leaf);
+}
+
+void
+PositionMap::restore(serde::Deserializer &d)
+{
+    const std::uint64_t count = d.u64();
+    if (count != map.size())
+        throw serde::SnapshotError(
+            "position-map snapshot covers " + std::to_string(count)
+            + " blocks but this engine has "
+            + std::to_string(map.size()));
+    for (auto &leaf : map)
+        leaf = d.u64();
+}
+
 } // namespace laoram::oram

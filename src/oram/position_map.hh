@@ -16,6 +16,7 @@
 
 #include "oram/types.hh"
 #include "util/rng.hh"
+#include "util/serde.hh"
 
 namespace laoram::oram {
 
@@ -50,6 +51,13 @@ class PositionMap
     {
         return map.size() * sizeof(Leaf);
     }
+
+    /**
+     * Checkpoint support. restore() refuses a snapshot whose block
+     * count differs from this map's (wrong-geometry guard).
+     */
+    void save(serde::Serializer &s) const;
+    void restore(serde::Deserializer &d);
 
   private:
     std::vector<Leaf> map;

@@ -22,6 +22,7 @@ StaticSuperblockOram::StaticSuperblockOram(
         for (BlockId m = base + 1; m < end; ++m)
             posmap_.set(m, shared);
     }
+    restoreAtConstructionIfConfigured();
 }
 
 std::string
@@ -94,6 +95,7 @@ ProOram::ProOram(const ProOramConfig &cfg)
     LAORAM_ASSERT(pcfg.groupSize >= 1, "group size must be >= 1");
     LAORAM_ASSERT(pcfg.splitThreshold < pcfg.mergeThreshold,
                   "split threshold must sit below merge threshold");
+    restoreAtConstructionIfConfigured();
 }
 
 std::string
@@ -239,6 +241,47 @@ ProOram::access(BlockId id, AccessOp op, const std::uint8_t *in,
     writePathMetered(current);
     backgroundEvict();
     mtr.observeStashSize(stash_.size());
+}
+
+void
+ProOram::saveClientState(serde::Serializer &s) const
+{
+    TreeOramBase::saveClientState(s);
+    s.u64(groups.size());
+    for (const GroupState &g : groups) {
+        s.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            g.counter)));
+        s.u8(g.merged ? 1 : 0);
+        s.u64(g.lastAccess);
+        s.u8(g.everAccessed ? 1 : 0);
+    }
+    s.u64(accessIndex);
+    s.u64(nMerged);
+    s.u64(nMergeEvents);
+    s.u64(nSplitEvents);
+}
+
+void
+ProOram::restoreClientState(serde::Deserializer &d)
+{
+    TreeOramBase::restoreClientState(d);
+    const std::uint64_t count = d.u64();
+    if (count != groups.size())
+        throw serde::SnapshotError(
+            "PrORAM snapshot covers " + std::to_string(count)
+            + " groups but this engine has "
+            + std::to_string(groups.size()));
+    for (GroupState &g : groups) {
+        g.counter = static_cast<int>(
+            static_cast<std::int64_t>(d.u64()));
+        g.merged = d.u8() != 0;
+        g.lastAccess = d.u64();
+        g.everAccessed = d.u8() != 0;
+    }
+    accessIndex = d.u64();
+    nMerged = d.u64();
+    nMergeEvents = d.u64();
+    nSplitEvents = d.u64();
 }
 
 } // namespace laoram::oram

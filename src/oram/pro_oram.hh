@@ -83,6 +83,10 @@ class ProOram final : public TreeOramBase
     std::uint64_t totalMerges() const { return nMergeEvents; }
     std::uint64_t totalSplits() const { return nSplitEvents; }
 
+    /** Adds the group counters to the tree-ORAM sections. */
+    void saveClientState(serde::Serializer &s) const override;
+    void restoreClientState(serde::Deserializer &d) override;
+
   private:
     struct GroupState
     {

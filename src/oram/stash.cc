@@ -1,5 +1,7 @@
 #include "oram/stash.hh"
 
+#include <algorithm>
+
 namespace laoram::oram {
 
 StashEntry *
@@ -44,6 +46,39 @@ Stash::unpinAll()
 {
     for (auto &[id, entry] : entries)
         entry.pinned = false;
+}
+
+void
+Stash::save(serde::Serializer &s) const
+{
+    std::vector<BlockId> ids;
+    ids.reserve(entries.size());
+    for (const auto &[id, entry] : entries)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+
+    s.u64(ids.size());
+    for (BlockId id : ids) {
+        const StashEntry &entry = entries.at(id);
+        s.u64(id);
+        s.u64(entry.leaf);
+        s.u8(entry.pinned ? 1 : 0);
+        s.blob(entry.payload);
+    }
+}
+
+void
+Stash::restore(serde::Deserializer &d)
+{
+    entries.clear();
+    const std::uint64_t count = d.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const BlockId id = d.u64();
+        StashEntry &entry = entries[id];
+        entry.leaf = d.u64();
+        entry.pinned = d.u8() != 0;
+        entry.payload = d.blob();
+    }
 }
 
 } // namespace laoram::oram

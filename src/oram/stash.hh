@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "oram/types.hh"
+#include "util/serde.hh"
 
 namespace laoram::oram {
 
@@ -72,6 +73,15 @@ class Stash
     {
         return size() * (sizeof(BlockId) + sizeof(Leaf) + payloadBytes);
     }
+
+    /**
+     * Checkpoint support. Entries are serialized sorted by block id,
+     * so a given stash state always produces identical snapshot
+     * bytes regardless of hash-map iteration order. restore()
+     * replaces the current contents.
+     */
+    void save(serde::Serializer &s) const;
+    void restore(serde::Deserializer &d);
 
   private:
     std::unordered_map<BlockId, StashEntry> entries;

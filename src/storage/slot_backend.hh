@@ -141,6 +141,28 @@ struct StorageConfig
 };
 
 /**
+ * Trusted client-state snapshot knobs, threaded through EngineConfig
+ * next to StorageConfig. The snapshot (position map, stash, RNG
+ * streams, meter) is a *client-side sidecar file*: it contains the
+ * position map — exactly the mapping ORAM exists to hide — so it is
+ * never written into the untrusted backend's meta-blob region, and a
+ * deployment must protect it like any other trusted-client memory.
+ */
+struct CheckpointConfig
+{
+    /** Sidecar snapshot file ("" = checkpointing disabled). */
+    std::string path;
+
+    /**
+     * Restore trusted client state from @p path at construction.
+     * Requires a persistent backend reopened with keepExisting: the
+     * snapshot is only meaningful against the tree it was taken
+     * with.
+     */
+    bool restore = false;
+};
+
+/**
  * Abstract fixed-record slot store. All methods are single-threaded
  * per instance (each ORAM engine owns exactly one storage).
  */

@@ -42,6 +42,17 @@ addStorageArgs(ArgParser &args, const std::string &defaultPath)
     sa.remoteLatencySeen = args.seenTracker("remote-latency-us");
     sa.remoteMbpsSeen = args.seenTracker("remote-mbps");
     sa.remoteWindowSeen = args.seenTracker("remote-window");
+    sa.checkpointPath = args.addString(
+        "checkpoint-path",
+        "client-side sidecar file for trusted-state snapshots "
+        "(position map, stash, RNG streams); requires a persistent "
+        "backend",
+        "");
+    sa.checkpointPathSeen = args.seenTracker("checkpoint-path");
+    sa.restore = args.addFlag(
+        "restore",
+        "restore trusted client state from --checkpoint-path at "
+        "startup (requires --storage-keep over the matching tree)");
     return sa;
 }
 
@@ -58,6 +69,14 @@ setError(std::string *error, std::string message)
 
 bool
 storageConfigFromArgsChecked(const StorageArgs &sa, StorageConfig *out,
+                             std::string *error)
+{
+    return storageConfigFromArgsChecked(sa, out, nullptr, error);
+}
+
+bool
+storageConfigFromArgsChecked(const StorageArgs &sa, StorageConfig *out,
+                             CheckpointConfig *checkpoint,
                              std::string *error)
 {
     StorageConfig cfg;
@@ -136,17 +155,56 @@ storageConfigFromArgsChecked(const StorageArgs &sa, StorageConfig *out,
         return false;
     }
 
+    // ---- Trusted-state checkpoint knobs. ----
+    const bool checkpointSeen = *sa.checkpointPathSeen || *sa.restore;
+    if (checkpoint == nullptr && checkpointSeen) {
+        // The caller never consumes a CheckpointConfig; accepting the
+        // options would silently drop the user's durability request.
+        setError(error, "this tool does not support "
+                        "--checkpoint-path/--restore");
+        return false;
+    }
+    CheckpointConfig ckpt;
+    ckpt.path = *sa.checkpointPath;
+    ckpt.restore = *sa.restore;
+    if (ckpt.restore && ckpt.path.empty()) {
+        setError(error,
+                 "--restore requires --checkpoint-path (there is no "
+                 "snapshot to restore from)");
+        return false;
+    }
+    const bool persistent =
+        cfg.kind == BackendKind::MmapFile
+        || (cfg.kind == BackendKind::Remote && !cfg.path.empty());
+    if (!ckpt.path.empty() && !persistent) {
+        // A snapshot is only meaningful against the tree it was taken
+        // with; a DRAM tree dies with the process.
+        setError(error, "--checkpoint-path requires a persistent "
+                        "backend (--storage=mmap, or --storage=remote "
+                        "with --storage-path)");
+        return false;
+    }
+    if (ckpt.restore && !cfg.keepExisting) {
+        setError(error,
+                 "--restore requires --storage-keep: restored client "
+                 "state is only valid over the reopened tree the "
+                 "snapshot was taken with");
+        return false;
+    }
+
     if (out != nullptr)
         *out = std::move(cfg);
+    if (checkpoint != nullptr)
+        *checkpoint = std::move(ckpt);
     return true;
 }
 
 StorageConfig
-storageConfigFromArgs(const StorageArgs &sa)
+storageConfigFromArgs(const StorageArgs &sa, CheckpointConfig *checkpoint)
 {
     StorageConfig cfg;
     std::string error;
-    if (!storageConfigFromArgsChecked(sa, &cfg, &error))
+    if (!storageConfigFromArgsChecked(sa, &cfg, checkpoint, &error))
         LAORAM_FATAL(error);
     return cfg;
 }

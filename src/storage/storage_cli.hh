@@ -34,6 +34,12 @@ struct StorageArgs
     std::shared_ptr<bool> remoteLatencySeen;
     std::shared_ptr<bool> remoteMbpsSeen;
     std::shared_ptr<bool> remoteWindowSeen;
+
+    // Trusted-state checkpoint knobs (client-side sidecar file; see
+    // storage::CheckpointConfig).
+    std::shared_ptr<std::string> checkpointPath; ///< sidecar file
+    std::shared_ptr<bool> checkpointPathSeen;
+    std::shared_ptr<bool> restore; ///< restore sidecar at startup
 };
 
 /** Register --storage, --storage-path, --storage-durability,
@@ -44,22 +50,41 @@ StorageArgs addStorageArgs(ArgParser &args,
                            const std::string &defaultPath = "");
 
 /**
- * Resolve parsed options into @p out without exiting: false (with
- * @p error set when non-null) on an unknown backend or durability
- * name, mmap without a path, --storage-keep on a backend that cannot
- * reopen anything, a non-default --remote-* option on a backend that
- * is not remote, or a zero --remote-window. The testable core of
- * storageConfigFromArgs.
+ * Resolve parsed options into @p out / @p checkpoint without exiting:
+ * false (with @p error set when non-null) on an unknown backend or
+ * durability name, mmap without a path, --storage-keep on a backend
+ * that cannot reopen anything, a non-default --remote-* option on a
+ * backend that is not remote, or a zero --remote-window. The testable
+ * core of storageConfigFromArgs.
+ *
+ * Checkpoint rules: --restore requires --checkpoint-path (there is
+ * nothing to restore from otherwise), --checkpoint-path requires a
+ * persistent backend (a trusted-state snapshot is only meaningful
+ * against a tree that survives the process), and --restore requires
+ * --storage-keep (restoring client state over a re-initialised tree
+ * would serve garbage). When @p checkpoint is null the caller does
+ * not support checkpointing, and an explicitly-passed
+ * --checkpoint-path / --restore is rejected instead of silently
+ * ignored.
  */
+bool storageConfigFromArgsChecked(const StorageArgs &sa,
+                                  StorageConfig *out,
+                                  CheckpointConfig *checkpoint,
+                                  std::string *error = nullptr);
+
+/** Storage-only overload: checkpoint options are rejected if given. */
 bool storageConfigFromArgsChecked(const StorageArgs &sa,
                                   StorageConfig *out,
                                   std::string *error = nullptr);
 
 /**
- * Resolve parsed options into a StorageConfig. Fatal (exit 1) on any
+ * Resolve parsed options into a StorageConfig (+ CheckpointConfig
+ * when @p checkpoint is non-null). Fatal (exit 1) on any
  * configuration storageConfigFromArgsChecked rejects.
  */
-StorageConfig storageConfigFromArgs(const StorageArgs &sa);
+StorageConfig
+storageConfigFromArgs(const StorageArgs &sa,
+                      CheckpointConfig *checkpoint = nullptr);
 
 /** Stable lower-case name for a durability mode ("buffered", ...). */
 const char *durabilityName(Durability durability);

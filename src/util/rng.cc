@@ -119,6 +119,26 @@ Rng::split()
     return Rng(next() ^ 0x9e3779b97f4a7c15ULL);
 }
 
+void
+Rng::save(serde::Serializer &s) const
+{
+    for (std::uint64_t word : state)
+        s.u64(word);
+    s.u64(_seed);
+    s.u8(haveSpareGaussian ? 1 : 0);
+    s.f64(spareGaussian);
+}
+
+void
+Rng::restore(serde::Deserializer &d)
+{
+    for (std::uint64_t &word : state)
+        word = d.u64();
+    _seed = d.u64();
+    haveSpareGaussian = d.u8() != 0;
+    spareGaussian = d.f64();
+}
+
 ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n(n), s(s)
 {
     LAORAM_ASSERT(n > 0, "ZipfSampler needs at least one item");

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serde.hh"
+
 namespace laoram {
 
 /** SplitMix64 step; used for seeding and as a cheap stateless mixer. */
@@ -79,6 +81,14 @@ class Rng
 
     /** The seed this generator was constructed with. */
     std::uint64_t seed() const { return _seed; }
+
+    /**
+     * Checkpoint support: serialize / reload the exact generator
+     * state (xoshiro words, seed, Box-Muller spare), so a restored
+     * stream continues bit-identically from the snapshot point.
+     */
+    void save(serde::Serializer &s) const;
+    void restore(serde::Deserializer &d);
 
   private:
     std::array<std::uint64_t, 4> state;

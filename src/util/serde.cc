@@ -1,0 +1,138 @@
+#include "util/serde.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <sys/stat.h>
+
+namespace laoram::serde {
+
+std::uint64_t
+fnv1a64(const std::uint8_t *p, std::size_t len)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+std::vector<std::uint8_t>
+seal(SnapshotKind kind, const std::vector<std::uint8_t> &payload)
+{
+    Serializer s;
+    s.u64(kSnapshotMagic);
+    s.u32(kSnapshotVersion);
+    s.u32(static_cast<std::uint32_t>(kind));
+    s.u64(payload.size());
+    s.bytes(payload.data(), payload.size());
+    const std::uint64_t sum = fnv1a64(s.data().data(), s.data().size());
+    s.u64(sum);
+    return s.take();
+}
+
+std::vector<std::uint8_t>
+unseal(SnapshotKind kind, const std::vector<std::uint8_t> &frame)
+{
+    // Header (24 B) + checksum (8 B) is the smallest valid frame.
+    constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8;
+    if (frame.size() < kHeaderBytes + 8)
+        throw SnapshotError("snapshot truncated: " +
+                            std::to_string(frame.size()) +
+                            " bytes is smaller than the frame header");
+
+    // Verify the checksum before trusting any header field, so a bit
+    // flip anywhere (including inside the length) is caught first.
+    const std::size_t sumOff = frame.size() - 8;
+    const std::uint64_t want = fnv1a64(frame.data(), sumOff);
+    Deserializer tail(frame.data() + sumOff, 8);
+    const std::uint64_t got = tail.u64();
+    if (want != got)
+        throw SnapshotError("snapshot checksum mismatch: stored " +
+                            std::to_string(got) + ", computed " +
+                            std::to_string(want) +
+                            " (corrupt or truncated snapshot)");
+
+    Deserializer d(frame.data(), sumOff);
+    const std::uint64_t magic = d.u64();
+    if (magic != kSnapshotMagic)
+        throw SnapshotError("snapshot magic mismatch: not a LAORAM "
+                            "client-state snapshot");
+    const std::uint32_t version = d.u32();
+    if (version != kSnapshotVersion)
+        throw SnapshotError(
+            "snapshot format version " + std::to_string(version) +
+            " is not the supported version " +
+            std::to_string(kSnapshotVersion));
+    const std::uint32_t gotKind = d.u32();
+    if (gotKind != static_cast<std::uint32_t>(kind))
+        throw SnapshotError(
+            "snapshot section kind " + std::to_string(gotKind) +
+            " does not match the expected kind " +
+            std::to_string(static_cast<std::uint32_t>(kind)));
+    const std::uint64_t len = d.u64();
+    if (len != d.remaining())
+        throw SnapshotError(
+            "snapshot payload length " + std::to_string(len) +
+            " disagrees with the frame size (" +
+            std::to_string(d.remaining()) + " payload bytes present)");
+    std::vector<std::uint8_t> payload(len);
+    if (len > 0)
+        d.bytes(payload.data(), len);
+    return payload;
+}
+
+void
+writeFileAtomic(const std::string &path,
+                const std::vector<std::uint8_t> &data)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        throw SnapshotError("cannot create snapshot file " + tmp +
+                            ": " + std::strerror(errno));
+    if (!data.empty()
+        && std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        throw SnapshotError("short write to snapshot file " + tmp);
+    }
+    if (std::fflush(f) != 0 || std::fclose(f) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("cannot flush snapshot file " + tmp + ": " +
+                            std::strerror(errno));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("cannot move snapshot into place at " +
+                            path + ": " + std::strerror(errno));
+    }
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw SnapshotError("cannot open snapshot file " + path + ": " +
+                            std::strerror(errno));
+    std::vector<std::uint8_t> data;
+    std::uint8_t chunk[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        data.insert(data.end(), chunk, chunk + n);
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad)
+        throw SnapshotError("read error on snapshot file " + path);
+    return data;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+} // namespace laoram::serde

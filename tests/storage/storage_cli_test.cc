@@ -5,8 +5,9 @@
  * These cover the defaulted happy path, every rejection branch of
  * storageConfigFromArgsChecked (unknown backend, mmap without a
  * path, unknown durability, --storage-keep without a persistent
- * backing file, --remote-* knobs without --storage=remote), the
- * remote link-knob parsing, and the durability-name round-trip.
+ * backing file, --remote-* knobs without --storage=remote, the
+ * --checkpoint-path/--restore combination rules), the remote
+ * link-knob parsing, and the durability-name round-trip.
  */
 
 #include <gtest/gtest.h>
@@ -257,6 +258,113 @@ TEST(StorageCli, KeepOnPersistentRemoteParses)
     EXPECT_EQ(cfg.kind, BackendKind::Remote);
     EXPECT_TRUE(cfg.keepExisting);
     EXPECT_EQ(cfg.path, "node.tree");
+}
+
+TEST(StorageCli, CheckpointPathOnPersistentBackendsParses)
+{
+    // mmap carries the sidecar next to its tree file...
+    ParsedArgs mmapArgs({"--storage", "mmap", "--storage-path",
+                         "t.tree", "--checkpoint-path", "t.ckpt"});
+    StorageConfig cfg;
+    CheckpointConfig ckpt;
+    std::string error;
+    ASSERT_TRUE(storageConfigFromArgsChecked(mmapArgs.storage, &cfg,
+                                             &ckpt, &error))
+        << error;
+    EXPECT_EQ(ckpt.path, "t.ckpt");
+    EXPECT_FALSE(ckpt.restore);
+
+    // ...and so does a remote node with a persistent tree.
+    ParsedArgs remoteArgs({"--storage", "remote", "--storage-path",
+                           "node.tree", "--checkpoint-path",
+                           "node.ckpt"});
+    ASSERT_TRUE(storageConfigFromArgsChecked(remoteArgs.storage, &cfg,
+                                             &ckpt, &error))
+        << error;
+    EXPECT_EQ(ckpt.path, "node.ckpt");
+}
+
+TEST(StorageCli, RestoreOverReopenedTreeParses)
+{
+    ParsedArgs args({"--storage", "mmap", "--storage-path", "t.tree",
+                     "--storage-keep", "--checkpoint-path", "t.ckpt",
+                     "--restore"});
+    StorageConfig cfg;
+    CheckpointConfig ckpt;
+    std::string error;
+    ASSERT_TRUE(storageConfigFromArgsChecked(args.storage, &cfg,
+                                             &ckpt, &error))
+        << error;
+    EXPECT_TRUE(cfg.keepExisting);
+    EXPECT_EQ(ckpt.path, "t.ckpt");
+    EXPECT_TRUE(ckpt.restore);
+}
+
+TEST(StorageCli, RestoreWithoutCheckpointPathIsRejected)
+{
+    ParsedArgs args({"--storage", "mmap", "--storage-path", "t.tree",
+                     "--storage-keep", "--restore"});
+    StorageConfig cfg;
+    CheckpointConfig ckpt;
+    std::string error;
+    EXPECT_FALSE(storageConfigFromArgsChecked(args.storage, &cfg,
+                                              &ckpt, &error));
+    EXPECT_NE(error.find("--checkpoint-path"), std::string::npos)
+        << error;
+}
+
+TEST(StorageCli, CheckpointPathWithoutPersistentBackendIsRejected)
+{
+    // A trusted-state snapshot is only valid against the tree it was
+    // taken with; on DRAM (local, or behind a pathless remote node)
+    // the tree dies with the process, so a sidecar would restore over
+    // garbage. Both must be rejected with a pointer at the
+    // persistent alternatives.
+    for (const std::vector<std::string> &argv :
+         {std::vector<std::string>{"--checkpoint-path", "t.ckpt"},
+          std::vector<std::string>{"--storage", "remote",
+                                   "--checkpoint-path", "t.ckpt"}}) {
+        ParsedArgs args(argv);
+        StorageConfig cfg;
+        CheckpointConfig ckpt;
+        std::string error;
+        EXPECT_FALSE(storageConfigFromArgsChecked(args.storage, &cfg,
+                                                  &ckpt, &error));
+        EXPECT_NE(error.find("--checkpoint-path"), std::string::npos)
+            << error;
+        EXPECT_NE(error.find("mmap"), std::string::npos) << error;
+    }
+}
+
+TEST(StorageCli, RestoreWithoutKeepIsRejected)
+{
+    // Without --storage-keep the tree file is re-initialised at
+    // startup, so restored client state would point into a wiped
+    // store.
+    ParsedArgs args({"--storage", "mmap", "--storage-path", "t.tree",
+                     "--checkpoint-path", "t.ckpt", "--restore"});
+    StorageConfig cfg;
+    CheckpointConfig ckpt;
+    std::string error;
+    EXPECT_FALSE(storageConfigFromArgsChecked(args.storage, &cfg,
+                                              &ckpt, &error));
+    EXPECT_NE(error.find("--storage-keep"), std::string::npos)
+        << error;
+}
+
+TEST(StorageCli, CheckpointFlagsWithoutConsumerAreRejected)
+{
+    // The storage-only overload is used by tools with no checkpoint
+    // support; silently ignoring --checkpoint-path there would fake
+    // durability the tool does not provide.
+    ParsedArgs args({"--storage", "mmap", "--storage-path", "t.tree",
+                     "--checkpoint-path", "t.ckpt"});
+    StorageConfig cfg;
+    std::string error;
+    EXPECT_FALSE(
+        storageConfigFromArgsChecked(args.storage, &cfg, &error));
+    EXPECT_NE(error.find("does not support"), std::string::npos)
+        << error;
 }
 
 TEST(StorageCli, DurabilityModeRoundTripsThroughItsName)
