@@ -1,13 +1,11 @@
 #include "common/harness.hh"
 
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 
 #include "oram/path_oram.hh"
+#include "util/json_writer.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -165,50 +163,10 @@ BenchJson::BenchJson(std::string benchName) : name(std::move(benchName))
 {
 }
 
-namespace {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::ostringstream os;
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            os << "\\\"";
-            break;
-          case '\\':
-            os << "\\\\";
-            break;
-          case '\n':
-            os << "\\n";
-            break;
-          case '\t':
-            os << "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                os << buf;
-            } else {
-                os << c;
-            }
-        }
-    }
-    return os.str();
-}
-
-} // namespace
-
 void
 BenchJson::add(const std::string &key, double value)
 {
-    std::ostringstream os;
-    if (std::isfinite(value))
-        os << value;
-    else
-        os << "null"; // JSON has no inf/nan
-    entries.push_back({key, os.str()});
+    entries.push_back({key, util::jsonNumber(value)});
 }
 
 void
@@ -220,7 +178,7 @@ BenchJson::add(const std::string &key, std::uint64_t value)
 void
 BenchJson::add(const std::string &key, const std::string &value)
 {
-    entries.push_back({key, "\"" + jsonEscape(value) + "\""});
+    entries.push_back({key, "\"" + util::jsonEscape(value) + "\""});
 }
 
 std::string
@@ -236,9 +194,10 @@ BenchJson::write() const
         warn("cannot write bench metrics to ", path);
         return {};
     }
-    out << "{\n  \"bench\": \"" << jsonEscape(name) << "\"";
+    out << "{\n  \"bench\": \"" << util::jsonEscape(name) << "\"";
     for (const Entry &e : entries)
-        out << ",\n  \"" << jsonEscape(e.key) << "\": " << e.rendered;
+        out << ",\n  \"" << util::jsonEscape(e.key)
+            << "\": " << e.rendered;
     out << "\n}\n";
     std::cout << "\n[bench-json] wrote " << path << "\n";
     return path;

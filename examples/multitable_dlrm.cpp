@@ -24,6 +24,8 @@
 
 #include "core/laoram_client.hh"
 #include "core/sharded_laoram.hh"
+#include "obs/obs_cli.hh"
+#include "obs/run_report.hh"
 #include "oram/path_oram.hh"
 #include "storage/storage_cli.hh"
 #include "train/table_set.hh"
@@ -56,7 +58,13 @@ main(int argc, char **argv)
         0);
     const auto storageArgs =
         storage::addStorageArgs(args, "multitable_dlrm.tree");
+    const auto obsArgs = obs::addObsArgs(args);
     args.parse(argc, argv);
+
+    // Activated before any ORAM traffic; destroyed after the engines
+    // (quiesced recorders), flushing metrics/trace outputs.
+    const obs::ObsConfig obsCfg = obs::obsConfigFromArgs(obsArgs);
+    obs::ObsSession obsSession(obsCfg);
 
     const train::TableSet tables =
         train::TableSet::criteoLike(*largest);
@@ -120,6 +128,8 @@ main(int argc, char **argv)
     }
 
     const auto rep = laoram.runTrace(trace);
+    if (!obsCfg.reportJson.empty())
+        obs::writeRunReportJson(obsCfg.reportJson, rep);
 
     // Durable shutdown: manifest at the base path, one engine sidecar
     // per shard tree, so a --restore --storage-keep run resumes the

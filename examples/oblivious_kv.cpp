@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "core/pipeline.hh"
+#include "obs/obs_cli.hh"
+#include "obs/run_report.hh"
 #include "oram/path_oram.hh"
 #include "oram/ring_oram.hh"
 #include "serve/serve.hh"
@@ -81,7 +83,14 @@ main(int argc, char **argv)
         2);
     const auto storageArgs =
         storage::addStorageArgs(args, "oblivious_kv.tree");
+    const auto obsArgs = obs::addObsArgs(args);
     args.parse(argc, argv);
+
+    // Activated before any ORAM traffic; the destructor (after every
+    // engine below is gone, so recorders are quiesced) flushes the
+    // metrics/trace outputs.
+    const obs::ObsConfig obsCfg = obs::obsConfigFromArgs(obsArgs);
+    obs::ObsSession obsSession(obsCfg);
 
     constexpr std::uint64_t kValueBytes = 48;
 
@@ -188,6 +197,18 @@ main(int argc, char **argv)
                       << rep.prepThreadUtilization[t] * 100.0
                       << "% busy\n";
         }
+        if (!obsCfg.reportJson.empty()) {
+            const mem::TrafficCounters traffic =
+                scanEngine.meter().counters();
+            obs::writeRunReportJson(obsCfg.reportJson, rep, &traffic);
+        }
+    } else if (!obsCfg.reportJson.empty()) {
+        // No pipeline ran; the report still carries the session
+        // engine's traffic so the adversary-view numbers are scripted.
+        const mem::TrafficCounters traffic =
+            engine->meter().counters();
+        obs::writeRunReportJson(obsCfg.reportJson,
+                                core::PipelineReport{}, &traffic);
     }
     return 0;
 }

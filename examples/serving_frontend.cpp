@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs_cli.hh"
+#include "obs/run_report.hh"
 #include "serve/frontend.hh"
 #include "util/cli.hh"
 #include "util/rng.hh"
@@ -39,7 +41,13 @@ main(int argc, char **argv)
                                "look-ahead window (operations)", 64);
     auto flushUs = args.addUint(
         "flush-us", "partial-window flush period (microseconds)", 200);
+    const auto obsArgs = obs::addObsArgs(args);
     args.parse(argc, argv);
+
+    // Activated before the frontend starts; destroyed after the
+    // engine (quiesced recorders), flushing metrics/trace outputs.
+    const obs::ObsConfig obsCfg = obs::obsConfigFromArgs(obsArgs);
+    obs::ObsSession obsSession(obsCfg);
 
     constexpr std::uint64_t kPayload = 64;
 
@@ -110,6 +118,8 @@ main(int argc, char **argv)
     flusher.join();
 
     const core::ShardedPipelineReport rep = frontend.stop();
+    if (!obsCfg.reportJson.empty())
+        obs::writeRunReportJson(obsCfg.reportJson, rep);
     const LatencyReport &lat = rep.aggregate.latency;
 
     std::cout << "served " << lat.requests << " operations ("

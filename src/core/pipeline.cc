@@ -10,12 +10,40 @@
 #include <utility>
 
 #include "core/reorder_window.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/walltime.hh"
 
 namespace laoram::core {
 
 namespace {
+
+/** Live pipeline metrics (process-wide; lanes share the handles). */
+struct PipelineMetrics
+{
+    obs::Counter &windows;
+    obs::Counter &fillNs;
+    obs::Counter &stallNs;
+    obs::Counter &reorderStallNs;
+};
+
+PipelineMetrics &
+pipelineMetrics()
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    static PipelineMetrics m{
+        reg.counter("pipeline.windows_served",
+                    "windows drained through the serving stage"),
+        reg.counter("pipeline.fill_ns",
+                    "serve-thread wait for each run's first window"),
+        reg.counter("pipeline.stall_ns",
+                    "serve-thread waits after the pipeline fill"),
+        reg.counter("pipeline.reorder_stall_ns",
+                    "head-of-line share of the serve-thread stalls"),
+    };
+    return m;
+}
 
 /** What travels over the reorder window: a schedule + its prep cost. */
 struct PreparedWindow
@@ -159,10 +187,15 @@ BatchPipeline::runSimulated(ServeSource &source)
         // simulated clock delta.
         source.windowServing(sw.windowIndex);
         const double before = engine.meter().clock().nanoseconds();
-        engine.serveWindow(res);
+        {
+            obs::TraceSpan span("serve-window", sw.windowIndex);
+            engine.serveWindow(res);
+        }
         accessNs.push_back(engine.meter().clock().nanoseconds()
                            - before);
         source.windowServed(sw.windowIndex);
+        if (obs::metricsEnabled())
+            pipelineMetrics().windows.inc();
         if (cfg.windowBoundaryHook)
             cfg.windowBoundaryHook(sw.windowIndex);
     }
@@ -207,6 +240,7 @@ BatchPipeline::runConcurrent(ServeSource &source)
 
     auto prepWorker = [&](std::size_t tid) {
         const WallClock::time_point threadStart = WallClock::now();
+        obs::traceSetThreadName("prep-" + std::to_string(tid));
         PrepThreadLedger &ledger = ledgers[tid];
         try {
             SourceWindow sw;
@@ -229,6 +263,9 @@ BatchPipeline::runConcurrent(ServeSource &source)
                     }
                 }
                 item.prepWallNs = elapsedNs(t0, WallClock::now());
+                obs::traceRecordEndingNow("prep-window",
+                                          item.prepWallNs,
+                                          sw.windowIndex);
                 ledger.busyNs += item.prepWallNs;
                 ++ledger.windows;
 
@@ -269,6 +306,7 @@ BatchPipeline::runConcurrent(ServeSource &source)
     std::vector<std::int64_t> prepWall;
     std::int64_t fillNs = 0;
     std::int64_t stallNs = 0;
+    obs::traceSetThreadName("serve");
     try {
         PreparedWindow item;
         while (true) {
@@ -278,10 +316,17 @@ BatchPipeline::runConcurrent(ServeSource &source)
                 break;
             const std::int64_t waited =
                 elapsedNs(waitStart, WallClock::now());
+            obs::traceRecordEndingNow("reorder-wait", waited,
+                                      item.sched.windowIndex);
             if (prepWall.empty())
                 fillNs = waited; // pipeline fill, not a stall
             else
                 stallNs += waited;
+            if (obs::metricsEnabled()) {
+                PipelineMetrics &m = pipelineMetrics();
+                (prepWall.empty() ? m.fillNs : m.stallNs)
+                    .add(static_cast<std::uint64_t>(waited));
+            }
             // Hand the freed slot back only now: stage 1's next burst
             // lands inside the serve interval, not inside the wait we
             // just measured. If serveWindow throws, the token's
@@ -298,8 +343,13 @@ BatchPipeline::runConcurrent(ServeSource &source)
                 engine.meter().clock().nanoseconds();
             const WallClock::time_point serveStart = WallClock::now();
             engine.serveWindow(item.sched.result);
-            rep.wallServeNs += static_cast<double>(
-                elapsedNs(serveStart, WallClock::now()));
+            const std::int64_t servedNs =
+                elapsedNs(serveStart, WallClock::now());
+            obs::traceRecordEndingNow("serve-window", servedNs,
+                                      item.sched.windowIndex);
+            if (obs::metricsEnabled())
+                pipelineMetrics().windows.inc();
+            rep.wallServeNs += static_cast<double>(servedNs);
             accessNsModeled.push_back(
                 engine.meter().clock().nanoseconds() - simBefore);
             source.windowServed(item.sched.windowIndex);
@@ -322,6 +372,10 @@ BatchPipeline::runConcurrent(ServeSource &source)
     rep.wallStallNs = static_cast<double>(stallNs);
     rep.wallReorderStallNs =
         static_cast<double>(reorder.stats().headOfLineWaitNs);
+    if (obs::metricsEnabled()) {
+        pipelineMetrics().reorderStallNs.add(
+            reorder.stats().headOfLineWaitNs);
+    }
 
     rep.prepThreads = static_cast<std::uint32_t>(poolSize);
     rep.prepThreadBusyNs.reserve(poolSize);

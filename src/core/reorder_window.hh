@@ -34,10 +34,38 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "util/walltime.hh"
 
 namespace laoram::core {
+
+namespace detail {
+
+/** Live reorder metrics, shared by every ReorderWindow<T> instance. */
+struct ReorderMetrics
+{
+    obs::Gauge &buffered;
+    obs::Counter &holWaits;
+    obs::Counter &holWaitNs;
+};
+
+inline ReorderMetrics &
+reorderMetrics()
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    static ReorderMetrics m{
+        reg.gauge("pipeline.reorder.buffered",
+                  "prepared windows buffered in reorder stages"),
+        reg.counter("pipeline.reorder.hol_waits",
+                    "consumer waits with later windows buffered"),
+        reg.counter("pipeline.reorder.hol_wait_ns",
+                    "time spent in head-of-line waits"),
+    };
+    return m;
+}
+
+} // namespace detail
 
 /**
  * Bounded blocking reorder buffer; safe for concurrent push/pop/close
@@ -154,6 +182,8 @@ class ReorderWindow
         slot.occupied = true;
         ++occupancy;
         st.maxOccupancy = std::max(st.maxOccupancy, occupancy);
+        if (obs::metricsEnabled())
+            detail::reorderMetrics().buffered.inc();
         const bool ready = seq == nextSeq;
         lock.unlock();
         if (ready)
@@ -269,8 +299,16 @@ class ReorderWindow
             notReady.wait(lock);
             const std::int64_t waited = elapsedNs(t0, WallClock::now());
             st.popWaitNs += waited;
-            if (headOfLine)
+            if (headOfLine) {
                 st.headOfLineWaitNs += waited;
+                if (obs::metricsEnabled()) {
+                    detail::ReorderMetrics &m =
+                        detail::reorderMetrics();
+                    m.holWaits.inc();
+                    m.holWaitNs.add(
+                        static_cast<std::uint64_t>(waited));
+                }
+            }
         }
         return true;
     }
@@ -286,6 +324,8 @@ class ReorderWindow
         --occupancy;
         ++nextSeq;
         ++st.delivered;
+        if (obs::metricsEnabled())
+            detail::reorderMetrics().buffered.dec();
     }
 
     mutable std::mutex mu;

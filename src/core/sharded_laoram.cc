@@ -9,12 +9,23 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
 namespace laoram::core {
 
 namespace {
+
+/** Lanes (shard pipelines) in flight right now across the pool. */
+obs::Gauge &
+lanesActiveGauge()
+{
+    static obs::Gauge &g = obs::MetricsRegistry::instance().gauge(
+        "pipeline.lanes_active", "shard pipelines currently serving");
+    return g;
+}
 
 /** runTrace's ShardedServeSource: one TraceSource per sub-trace. */
 class TraceShardSource final : public ShardedServeSource
@@ -177,6 +188,7 @@ ShardedLaoram::ShardedLaoram(const ShardedLaoramConfig &cfg,
 void
 ShardedLaoram::restoreManifest()
 {
+    obs::TraceSpan span("restore", cfg.numShards);
     const std::string &path = cfg.engine.base.checkpoint.path;
     const std::vector<std::uint8_t> payload = serde::unseal(
         serde::SnapshotKind::ShardedManifest, serde::readFile(path));
@@ -214,6 +226,7 @@ ShardedLaoram::checkpointToFile(const std::string &basePath)
 {
     LAORAM_ASSERT(!basePath.empty(),
                   "sharded checkpoint needs a base path");
+    obs::TraceSpan span("checkpoint", cfg.numShards);
     serde::Serializer body;
     splitter_.save(body);
     serde::writeFileAtomic(
@@ -238,6 +251,7 @@ ShardedLaoram::reshard(ShardSplitter newSplitter)
                   newSplitter.numBlocks(), " blocks, engine has ",
                   splitter_.numBlocks());
 
+    obs::TraceSpan span("reshard", newSplitter.numShards());
     const std::uint64_t numBlocks = splitter_.numBlocks();
     const bool hasPayloads = cfg.engine.base.payloadBytes > 0;
 
@@ -386,6 +400,12 @@ ShardedLaoram::serve(ShardedServeSource &source)
             if (s >= cfg.numShards)
                 return;
             try {
+                // First-wins naming: the worker keeps the name of the
+                // first lane it serves even as it claims more shards.
+                obs::traceSetThreadName("lane-" + std::to_string(s));
+                if (obs::metricsEnabled())
+                    lanesActiveGauge().inc();
+                obs::TraceSpan laneSpan("lane", s);
                 ShardReport &sr = rep.shards[s];
                 const std::uint64_t prepBefore =
                     engines_[s]->accessesPreprocessed();
@@ -401,6 +421,8 @@ ShardedLaoram::serve(ShardedServeSource &source)
                     engines_[s]->meter().counters().since(before);
                 sr.simNs = engines_[s]->meter().clock().nanoseconds()
                            - simBefore;
+                if (obs::metricsEnabled())
+                    lanesActiveGauge().dec();
             } catch (...) {
                 std::lock_guard<std::mutex> lock(errorMu);
                 if (!firstError)

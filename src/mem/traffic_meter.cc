@@ -4,6 +4,27 @@
 
 namespace laoram::mem {
 
+MeterObs &
+meterObs()
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    static MeterObs m{
+        reg.counter("oram.logical_accesses",
+                    "application block requests"),
+        reg.counter("oram.path_reads", "real path fetches"),
+        reg.counter("oram.path_writes", "path write-backs"),
+        reg.counter("oram.dummy_reads",
+                    "background-eviction accesses"),
+        reg.counter("oram.bytes_read", "server bytes read"),
+        reg.counter("oram.bytes_written", "server bytes written"),
+        reg.counter("oram.stash_hits", "requests served from stash"),
+        reg.counter("oram.reshuffles", "RingORAM bucket reshuffles"),
+        reg.gauge("oram.stash_peak",
+                  "stash high-water mark over all engines"),
+    };
+    return m;
+}
+
 double
 TrafficCounters::dummyReadsPerAccess() const
 {
@@ -66,6 +87,11 @@ TrafficMeter::recordPathRead(std::uint64_t bytes, std::uint64_t blocks)
     c.blocksRead += blocks;
     c.bytesRead += bytes;
     clk.advanceNs(model.pathReadNs(bytes, blocks));
+    if (obs::metricsEnabled()) {
+        MeterObs &m = meterObs();
+        m.pathReads.inc();
+        m.bytesRead.add(bytes);
+    }
 }
 
 void
@@ -75,6 +101,11 @@ TrafficMeter::recordPathWrite(std::uint64_t bytes, std::uint64_t blocks)
     c.blocksWritten += blocks;
     c.bytesWritten += bytes;
     clk.advanceNs(model.pathWriteNs(bytes, blocks));
+    if (obs::metricsEnabled()) {
+        MeterObs &m = meterObs();
+        m.pathWrites.inc();
+        m.bytesWritten.add(bytes);
+    }
 }
 
 void
@@ -86,6 +117,11 @@ TrafficMeter::recordBatchedPathReads(std::uint64_t paths,
     c.blocksRead += blocks;
     c.bytesRead += bytes;
     clk.advanceNs(model.pathReadNs(bytes, blocks));
+    if (obs::metricsEnabled()) {
+        MeterObs &m = meterObs();
+        m.pathReads.add(paths);
+        m.bytesRead.add(bytes);
+    }
 }
 
 void
@@ -97,6 +133,11 @@ TrafficMeter::recordBatchedPathWrites(std::uint64_t paths,
     c.blocksWritten += blocks;
     c.bytesWritten += bytes;
     clk.advanceNs(model.pathWriteNs(bytes, blocks));
+    if (obs::metricsEnabled()) {
+        MeterObs &m = meterObs();
+        m.pathWrites.add(paths);
+        m.bytesWritten.add(bytes);
+    }
 }
 
 void
@@ -108,6 +149,12 @@ TrafficMeter::recordDummyAccess(std::uint64_t bytes, std::uint64_t blocks)
     c.blocksWritten += blocks;
     c.bytesWritten += bytes;
     clk.advanceNs(model.dummyAccessNs(bytes, blocks));
+    if (obs::metricsEnabled()) {
+        MeterObs &m = meterObs();
+        m.dummyReads.inc();
+        m.bytesRead.add(bytes);
+        m.bytesWritten.add(bytes);
+    }
 }
 
 void
@@ -123,6 +170,12 @@ TrafficMeter::recordReshuffle(std::uint64_t bytesRead,
     c.bytesWritten += bytesWritten;
     clk.advanceNs(model.pathReadNs(bytesRead, blocksRead)
                   + model.pathWriteNs(bytesWritten, blocksWritten));
+    if (obs::metricsEnabled()) {
+        MeterObs &m = meterObs();
+        m.reshuffles.inc();
+        m.bytesRead.add(bytesRead);
+        m.bytesWritten.add(bytesWritten);
+    }
 }
 
 void
@@ -130,6 +183,10 @@ TrafficMeter::observeStashSize(std::uint64_t blocks)
 {
     if (blocks > c.stashPeak)
         c.stashPeak = blocks;
+    if (obs::metricsEnabled()) {
+        meterObs().stashPeak.setMax(
+            static_cast<std::int64_t>(blocks));
+    }
 }
 
 void

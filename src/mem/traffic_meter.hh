@@ -17,9 +17,31 @@
 
 #include "mem/cost_model.hh"
 #include "mem/sim_clock.hh"
+#include "obs/metrics.hh"
 #include "util/stats.hh"
 
 namespace laoram::mem {
+
+/**
+ * Live mirror of the traffic counters, shared by every meter in the
+ * process (shard engines register the same oram.* names), so the
+ * metrics sampler sees process-wide ORAM traffic mid-run.
+ */
+struct MeterObs
+{
+    obs::Counter &logicalAccesses;
+    obs::Counter &pathReads;
+    obs::Counter &pathWrites;
+    obs::Counter &dummyReads;
+    obs::Counter &bytesRead;
+    obs::Counter &bytesWritten;
+    obs::Counter &stashHits;
+    obs::Counter &reshuffles;
+    obs::Gauge &stashPeak; ///< high-water mark across all stashes
+};
+
+/** The process-wide handle set (registered on first use). */
+MeterObs &meterObs();
 
 /** Snapshot of all traffic counters (value-type; freely copyable). */
 struct TrafficCounters
@@ -63,10 +85,30 @@ class TrafficMeter
   public:
     explicit TrafficMeter(const CostModel &model);
 
-    void recordLogicalAccess() { ++c.logicalAccesses; }
+    void
+    recordLogicalAccess()
+    {
+        ++c.logicalAccesses;
+        if (obs::metricsEnabled())
+            meterObs().logicalAccesses.inc();
+    }
+
     /** Credit @p n logical accesses at once (superblock bins). */
-    void recordLogicalAccesses(std::uint64_t n) { c.logicalAccesses += n; }
-    void recordStashHit() { ++c.stashHits; }
+    void
+    recordLogicalAccesses(std::uint64_t n)
+    {
+        c.logicalAccesses += n;
+        if (obs::metricsEnabled())
+            meterObs().logicalAccesses.add(n);
+    }
+
+    void
+    recordStashHit()
+    {
+        ++c.stashHits;
+        if (obs::metricsEnabled())
+            meterObs().stashHits.inc();
+    }
 
     /** A real path read of @p blocks slots totalling @p bytes. */
     void recordPathRead(std::uint64_t bytes, std::uint64_t blocks);

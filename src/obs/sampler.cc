@@ -1,0 +1,113 @@
+#include "obs/sampler.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "util/json_writer.hh"
+#include "util/logging.hh"
+
+namespace laoram::obs {
+
+namespace {
+
+std::int64_t
+steadyNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+MetricsSampler::MetricsSampler(MetricsRegistry &registry,
+                               Config config)
+    : registry(registry), config(std::move(config))
+{
+}
+
+MetricsSampler::~MetricsSampler()
+{
+    stop();
+}
+
+bool
+MetricsSampler::start()
+{
+    LAORAM_ASSERT(!running, "sampler started twice");
+    LAORAM_ASSERT(config.intervalMs > 0,
+                  "sampler interval must be positive");
+    out.open(config.path);
+    if (!out) {
+        warn("metrics: cannot open '", config.path,
+             "' for writing; sampling disabled");
+        return false;
+    }
+    startNs = steadyNs();
+    stopping = false;
+    running = true;
+    thread = std::thread([this] { run(); });
+    return true;
+}
+
+void
+MetricsSampler::stop()
+{
+    if (!running)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    thread.join();
+    running = false;
+    // The final sample happens here, after the thread has quiesced,
+    // so the last line carries end-of-run totals.
+    writeSample();
+    out.flush();
+    if (!out)
+        warn("metrics: write to '", config.path, "' failed");
+    out.close();
+}
+
+std::uint64_t
+MetricsSampler::samplesWritten() const
+{
+    return samples.load(std::memory_order_relaxed);
+}
+
+void
+MetricsSampler::run()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stopping) {
+        const auto interval =
+            std::chrono::milliseconds(config.intervalMs);
+        if (cv.wait_for(lock, interval, [this] { return stopping; }))
+            break;
+        // Sampling outside the lock would let stop() race the
+        // stream; snapshot() itself never blocks updaters.
+        writeSample();
+    }
+}
+
+void
+MetricsSampler::writeSample()
+{
+    const std::int64_t nowNs = steadyNs();
+    const MetricsSnapshot snap = registry.snapshot();
+    util::JsonWriter w(out, 0);
+    w.beginObject();
+    w.field("ts_ms",
+            static_cast<std::uint64_t>((nowNs - startNs) / 1000000));
+    w.field("seq", samples.load(std::memory_order_relaxed));
+    for (const MetricsSnapshot::Value &v : snap.values)
+        w.field(v.name, v.value);
+    w.endObject();
+    out << '\n';
+    samples.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace laoram::obs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Background metrics sampler: a thread that snapshots the
+ * MetricsRegistry every intervalMs and appends one compact JSON line
+ * per tick to an output file, giving a live time series of the
+ * counters/gauges the serving stack updates (JSON-lines: one
+ * self-contained object per line, trivially tail-able and
+ * jq-friendly).
+ *
+ * Line shape:
+ *   {"ts_ms":12,"seq":0,"pipeline.windows_served":40,...}
+ *
+ * ts_ms is milliseconds since start() so successive lines diff
+ * cleanly; seq is the tick number. stop() takes one final sample
+ * before joining, so short runs still get an end-of-run line whose
+ * totals reconcile with the final report.
+ */
+
+#ifndef LAORAM_OBS_SAMPLER_HH
+#define LAORAM_OBS_SAMPLER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace laoram::obs {
+
+class MetricsRegistry;
+
+/** Background JSON-lines sampler; see file comment. */
+class MetricsSampler
+{
+  public:
+    struct Config
+    {
+        std::string path;        ///< output file (truncated)
+        std::uint64_t intervalMs = 100;
+    };
+
+    MetricsSampler(MetricsRegistry &registry, Config config);
+
+    /** Joins the thread (taking a last sample) if still running. */
+    ~MetricsSampler();
+
+    MetricsSampler(const MetricsSampler &) = delete;
+    MetricsSampler &operator=(const MetricsSampler &) = delete;
+
+    /**
+     * Open the output and launch the sampling thread. Returns false
+     * (with a warning) if the file cannot be opened.
+     */
+    bool start();
+
+    /** Take a final sample, stop the thread, flush and close. */
+    void stop();
+
+    /** Lines emitted so far (including the final stop() sample). */
+    std::uint64_t samplesWritten() const;
+
+  private:
+    void run();
+    void writeSample();
+
+    MetricsRegistry &registry;
+    Config config;
+
+    std::ofstream out;
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stopping = false;
+    bool running = false;
+    std::atomic<std::uint64_t> samples{0};
+    std::int64_t startNs = 0;
+};
+
+} // namespace laoram::obs
+
+#endif // LAORAM_OBS_SAMPLER_HH

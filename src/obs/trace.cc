@@ -1,0 +1,618 @@
+#include "obs/trace.hh"
+
+#include <chrono>
+#include <cstddef>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/json_writer.hh"
+#include "util/logging.hh"
+
+namespace laoram::obs {
+
+namespace detail {
+std::atomic<bool> gTraceEnabled{false};
+} // namespace detail
+
+namespace {
+
+struct TraceEvent
+{
+    const char *name = nullptr;
+    std::int64_t startNs = 0;
+    std::int64_t durNs = 0;
+    std::uint64_t arg = kNoArg;
+};
+
+/**
+ * One thread's ring. Single writer (the owning thread); readers
+ * (writeTo/recorded) run only once recording threads are quiesced,
+ * per the header contract.
+ */
+struct ThreadBuf
+{
+    std::vector<TraceEvent> events; ///< ring storage, reserved to cap
+    std::size_t capacity = 0;
+    std::size_t head = 0; ///< oldest slot once the ring wrapped
+    std::uint64_t tid = 0;
+    std::string threadName;
+};
+
+std::mutex gMu;
+std::vector<std::unique_ptr<ThreadBuf>> gBufs;
+std::size_t gCapacity = 1 << 16;
+std::uint64_t gNextTid = 1;
+// Bumped by reset() so threads re-register instead of writing into a
+// freed ring through their cached pointer.
+std::atomic<std::uint64_t> gGeneration{1};
+std::atomic<std::uint64_t> gDropped{0};
+std::atomic<std::int64_t> gEpochNs{0};
+
+struct TlsRef
+{
+    ThreadBuf *buf = nullptr;
+    std::uint64_t gen = 0;
+};
+
+thread_local TlsRef tlsRef;
+
+std::int64_t
+steadyNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+ThreadBuf &
+myBuf()
+{
+    const std::uint64_t gen =
+        gGeneration.load(std::memory_order_acquire);
+    if (tlsRef.buf != nullptr && tlsRef.gen == gen)
+        return *tlsRef.buf;
+    std::lock_guard<std::mutex> lock(gMu);
+    auto buf = std::make_unique<ThreadBuf>();
+    buf->capacity = gCapacity;
+    buf->events.reserve(buf->capacity);
+    buf->tid = gNextTid++;
+    tlsRef.buf = buf.get();
+    tlsRef.gen = gGeneration.load(std::memory_order_relaxed);
+    gBufs.push_back(std::move(buf));
+    return *tlsRef.buf;
+}
+
+} // namespace
+
+std::int64_t
+traceNowNs()
+{
+    return steadyNs() - gEpochNs.load(std::memory_order_relaxed);
+}
+
+void
+traceRecord(const char *name, std::int64_t startNs, std::int64_t durNs,
+            std::uint64_t arg)
+{
+    if (!tracingEnabled())
+        return;
+    ThreadBuf &buf = myBuf();
+    TraceEvent ev{name, startNs, durNs, arg};
+    if (buf.events.size() < buf.capacity) {
+        buf.events.push_back(ev);
+        return;
+    }
+    // Ring full: overwrite the oldest event rather than block or grow.
+    buf.events[buf.head] = ev;
+    buf.head = (buf.head + 1) % buf.capacity;
+    gDropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+traceRecordEndingNow(const char *name, std::int64_t durNs,
+                     std::uint64_t arg)
+{
+    if (!tracingEnabled())
+        return;
+    const std::int64_t end = traceNowNs();
+    traceRecord(name, end - durNs, durNs, arg);
+}
+
+void
+traceSetThreadName(const std::string &name)
+{
+    if (!tracingEnabled())
+        return;
+    // First name wins: an outer scope (a sharded lane worker) names
+    // the thread before handing it to an inner stage (the pipeline's
+    // serving side), and the more specific outer name should stick.
+    ThreadBuf &buf = myBuf();
+    if (buf.threadName.empty())
+        buf.threadName = name;
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::enable(std::size_t perThreadCapacity)
+{
+    LAORAM_ASSERT(perThreadCapacity > 0,
+                  "trace ring capacity must be positive");
+    {
+        std::lock_guard<std::mutex> lock(gMu);
+        gCapacity = perThreadCapacity;
+    }
+    // One epoch per process run; re-enabling keeps timestamps
+    // comparable across phases.
+    std::int64_t expected = 0;
+    gEpochNs.compare_exchange_strong(expected, steadyNs(),
+                                     std::memory_order_relaxed);
+    detail::gTraceEnabled.store(true, std::memory_order_release);
+}
+
+void
+Tracer::disable()
+{
+    detail::gTraceEnabled.store(false, std::memory_order_release);
+}
+
+std::uint64_t
+Tracer::recorded() const
+{
+    std::lock_guard<std::mutex> lock(gMu);
+    std::uint64_t total = 0;
+    for (const auto &buf : gBufs)
+        total += buf->events.size();
+    return total;
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    return gDropped.load(std::memory_order_relaxed);
+}
+
+std::size_t
+Tracer::threadsSeen() const
+{
+    std::lock_guard<std::mutex> lock(gMu);
+    std::size_t n = 0;
+    for (const auto &buf : gBufs)
+        if (!buf->events.empty())
+            ++n;
+    return n;
+}
+
+void
+Tracer::writeTo(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(gMu);
+    util::JsonWriter w(os, 1);
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+    for (const auto &buf : gBufs) {
+        if (!buf->threadName.empty()) {
+            w.beginObject()
+                .field("name", "thread_name")
+                .field("ph", "M")
+                .field("pid", std::uint64_t{1})
+                .field("tid", buf->tid)
+                .key("args")
+                .beginObject()
+                .field("name", buf->threadName)
+                .endObject()
+                .endObject();
+        }
+        // Oldest-first ring order: [head, end) then [0, head).
+        const std::size_t n = buf->events.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceEvent &ev =
+                buf->events[(buf->head + i) % n];
+            w.beginObject()
+                .field("name", ev.name)
+                .field("ph", "X")
+                .field("ts",
+                       static_cast<double>(ev.startNs) / 1000.0)
+                .field("dur",
+                       static_cast<double>(ev.durNs) / 1000.0)
+                .field("pid", std::uint64_t{1})
+                .field("tid", buf->tid);
+            if (ev.arg != kNoArg) {
+                w.key("args")
+                    .beginObject()
+                    .field("arg", ev.arg)
+                    .endObject();
+            }
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.key("otherData")
+        .beginObject()
+        .field("dropped", gDropped.load(std::memory_order_relaxed))
+        .endObject();
+    w.endObject();
+    os << '\n';
+}
+
+bool
+Tracer::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("trace: cannot open '", path, "' for writing");
+        return false;
+    }
+    writeTo(os);
+    os.flush();
+    if (!os) {
+        warn("trace: write to '", path, "' failed");
+        return false;
+    }
+    return true;
+}
+
+void
+Tracer::reset()
+{
+    std::lock_guard<std::mutex> lock(gMu);
+    gBufs.clear();
+    gNextTid = 1;
+    gDropped.store(0, std::memory_order_relaxed);
+    gGeneration.fetch_add(1, std::memory_order_release);
+}
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON reader backing validateChromeTrace.
+ * Not a general-purpose parser — just enough structure to check that
+ * a dump is well-formed and walk the traceEvents array.
+ */
+struct JsonValue
+{
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    find(const std::string &k) const
+    {
+        for (const auto &kv : object)
+            if (kv.first == k)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text(text), error(error)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos != text.size())
+            return fail("trailing data after top-level value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (error != nullptr && error->empty()) {
+            std::ostringstream os;
+            os << msg << " at offset " << pos;
+            *error = os.str();
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size()
+               && (text[pos] == ' ' || text[pos] == '\t'
+                   || text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool
+    parseLiteral(const char *lit)
+    {
+        std::size_t i = 0;
+        while (lit[i] != '\0') {
+            if (pos + i >= text.size() || text[pos + i] != lit[i])
+                return false;
+            ++i;
+        }
+        pos += i;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("unterminated escape");
+                const char e = text[pos++];
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("short \\u escape");
+                    // Structural check only: accept and skip the
+                    // code unit without transcoding to UTF-8.
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text[pos + i];
+                        const bool hex =
+                            (h >= '0' && h <= '9')
+                            || (h >= 'a' && h <= 'f')
+                            || (h >= 'A' && h <= 'F');
+                        if (!hex)
+                            return fail("bad \\u escape");
+                    }
+                    pos += 4;
+                    out += '?';
+                    break;
+                  }
+                  default:
+                    return fail("bad escape character");
+                }
+                continue;
+            }
+            out += c;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(double &out)
+    {
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size()
+               && ((text[pos] >= '0' && text[pos] <= '9')
+                   || text[pos] == '.' || text[pos] == 'e'
+                   || text[pos] == 'E' || text[pos] == '+'
+                   || text[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("expected number");
+        try {
+            out = std::stod(text.substr(start, pos - start));
+        } catch (...) {
+            return fail("malformed number");
+        }
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out.type = JsonValue::Type::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                std::string k;
+                if (!parseString(k))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.object.emplace_back(std::move(k), std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.type = JsonValue::Type::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.array.push_back(std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.type = JsonValue::Type::String;
+            return parseString(out.str);
+        }
+        if (parseLiteral("null")) {
+            out.type = JsonValue::Type::Null;
+            return true;
+        }
+        if (parseLiteral("true")) {
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (parseLiteral("false")) {
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            return true;
+        }
+        out.type = JsonValue::Type::Number;
+        return parseNumber(out.number);
+    }
+
+    const std::string &text;
+    std::string *error;
+    std::size_t pos = 0;
+};
+
+bool
+setError(std::string *error, const std::string &msg)
+{
+    if (error != nullptr)
+        *error = msg;
+    return false;
+}
+
+} // namespace
+
+bool
+validateChromeTrace(const std::string &json, std::string *error,
+                    std::uint64_t *completeEvents,
+                    std::size_t *distinctThreads)
+{
+    if (error != nullptr)
+        error->clear();
+    JsonValue root;
+    JsonParser parser(json, error);
+    if (!parser.parse(root))
+        return false;
+    if (root.type != JsonValue::Type::Object)
+        return setError(error, "top level is not an object");
+    const JsonValue *events = root.find("traceEvents");
+    if (events == nullptr
+        || events->type != JsonValue::Type::Array)
+        return setError(error, "missing traceEvents array");
+    std::uint64_t xEvents = 0;
+    std::vector<double> tids;
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const JsonValue &ev = events->array[i];
+        std::ostringstream where;
+        where << "traceEvents[" << i << "]";
+        if (ev.type != JsonValue::Type::Object)
+            return setError(error, where.str() + " is not an object");
+        const JsonValue *name = ev.find("name");
+        const JsonValue *ph = ev.find("ph");
+        const JsonValue *pid = ev.find("pid");
+        const JsonValue *tid = ev.find("tid");
+        if (name == nullptr
+            || name->type != JsonValue::Type::String)
+            return setError(error,
+                            where.str() + " lacks a string name");
+        if (ph == nullptr || ph->type != JsonValue::Type::String)
+            return setError(error, where.str() + " lacks a ph");
+        if (pid == nullptr
+            || pid->type != JsonValue::Type::Number)
+            return setError(error,
+                            where.str() + " lacks a numeric pid");
+        if (tid == nullptr
+            || tid->type != JsonValue::Type::Number)
+            return setError(error,
+                            where.str() + " lacks a numeric tid");
+        if (ph->str == "X") {
+            const JsonValue *ts = ev.find("ts");
+            const JsonValue *dur = ev.find("dur");
+            if (ts == nullptr
+                || ts->type != JsonValue::Type::Number)
+                return setError(
+                    error, where.str() + " lacks a numeric ts");
+            if (dur == nullptr
+                || dur->type != JsonValue::Type::Number)
+                return setError(
+                    error, where.str() + " lacks a numeric dur");
+            ++xEvents;
+            bool seen = false;
+            for (double t : tids)
+                if (t == tid->number)
+                    seen = true;
+            if (!seen)
+                tids.push_back(tid->number);
+        }
+    }
+    if (completeEvents != nullptr)
+        *completeEvents = xEvents;
+    if (distinctThreads != nullptr)
+        *distinctThreads = tids.size();
+    return true;
+}
+
+} // namespace laoram::obs

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Scoped span tracing into Chrome-trace/Perfetto JSON.
+ *
+ * Each thread records completed spans into its own fixed-capacity
+ * ring buffer (registered on first use; no lock on the record path),
+ * so tracing a pipelined sharded run costs two clock reads and one
+ * ring store per span. A full ring overwrites its oldest event and
+ * counts the drop — recording never blocks and memory stays bounded
+ * at capacity * sizeof(TraceEvent) per thread.
+ *
+ * Span naming convention (docs/ARCHITECTURE.md "Observability"):
+ * lower-case dash-separated phase names — "prep-window",
+ * "reorder-wait", "serve-window", "path-read", "path-write",
+ * "rpc-read", "rpc-write", "checkpoint", "restore", "reshard" — with
+ * the window index / slot count as the numeric arg where one exists.
+ *
+ * writeTo()/writeFile() emit the Chrome trace-event JSON
+ * ({"traceEvents":[...]}) that chrome://tracing and Perfetto load
+ * directly: "X" complete events with microsecond timestamps, plus
+ * "M" thread_name metadata and a laoram.dropped counter per thread.
+ * Call them only when recording threads are quiesced (end of run) —
+ * the rings are single-writer and unsynchronized by design.
+ */
+
+#ifndef LAORAM_OBS_TRACE_HH
+#define LAORAM_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace laoram::obs {
+
+namespace detail {
+extern std::atomic<bool> gTraceEnabled;
+} // namespace detail
+
+/** The record-path gate: one relaxed atomic-bool load. */
+inline bool
+tracingEnabled()
+{
+    return detail::gTraceEnabled.load(std::memory_order_relaxed);
+}
+
+/** Value of TraceSpan/traceRecord's arg when there is none. */
+constexpr std::uint64_t kNoArg = ~std::uint64_t{0};
+
+/**
+ * Nanoseconds since the tracer's epoch (process-stable origin for
+ * every thread). Only meaningful while tracing is enabled.
+ */
+std::int64_t traceNowNs();
+
+/**
+ * Record a completed span on the calling thread's ring:
+ * [startNs, startNs + durNs) in traceNowNs() time. No-op when
+ * tracing is disabled. @p name must outlive the run (string
+ * literals).
+ */
+void traceRecord(const char *name, std::int64_t startNs,
+                 std::int64_t durNs, std::uint64_t arg = kNoArg);
+
+/**
+ * Back-dated convenience: a span of @p durNs ending now (for call
+ * sites that only measured a duration, e.g. the mapped I/O path).
+ */
+void traceRecordEndingNow(const char *name, std::int64_t durNs,
+                          std::uint64_t arg = kNoArg);
+
+/**
+ * Label the calling thread in the trace ("serve", "prep-0",
+ * "lane-2"); shows up as Perfetto track names. The first name a
+ * thread sets wins (outer scopes are more specific than the stages
+ * they run). No-op when disabled.
+ */
+void traceSetThreadName(const std::string &name);
+
+/**
+ * RAII span: captures the enabled flag and start time at
+ * construction, records on destruction. Near-zero when disabled
+ * (one branch, no clock read).
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name, std::uint64_t arg = kNoArg)
+        : name(name), arg(arg),
+          startNs(tracingEnabled() ? traceNowNs() : -1)
+    {
+    }
+
+    ~TraceSpan()
+    {
+        if (startNs >= 0)
+            traceRecord(name, startNs, traceNowNs() - startNs, arg);
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    const char *name;
+    std::uint64_t arg;
+    std::int64_t startNs;
+};
+
+/** The process-wide tracer (ring-buffer owner + JSON writer). */
+class Tracer
+{
+  public:
+    static Tracer &instance();
+
+    /**
+     * Start recording with @p perThreadCapacity events per thread
+     * ring (>= 1). Re-enabling with a different capacity applies to
+     * rings registered after the call; reset() first for a clean
+     * slate.
+     */
+    void enable(std::size_t perThreadCapacity);
+
+    void disable();
+
+    /** Events recorded (kept in rings), across all threads. */
+    std::uint64_t recorded() const;
+
+    /** Events overwritten because a ring was full. */
+    std::uint64_t dropped() const;
+
+    /** Threads that recorded at least one event. */
+    std::size_t threadsSeen() const;
+
+    /**
+     * Emit Chrome trace-event JSON. Quiesce recording threads first
+     * (see file comment).
+     */
+    void writeTo(std::ostream &os) const;
+
+    /** writeTo() into @p path; warns and returns false on I/O error. */
+    bool writeFile(const std::string &path) const;
+
+    /**
+     * Test hook: drop every ring and drop counter (thread
+     * registrations are forgotten; rings re-register on next use).
+     * Callers must quiesce recording threads first.
+     */
+    void reset();
+
+  private:
+    Tracer() = default;
+};
+
+/**
+ * Structural validation of Chrome-trace JSON (used by the trace
+ * schema test and bench_obs_overhead, so "loads in Perfetto" is
+ * checked in-tree, not by eyeball): parses the JSON, requires a
+ * top-level object with a "traceEvents" array whose elements carry
+ * name/ph/ts/pid/tid, and reports how many "X" events and distinct
+ * tids it saw.
+ */
+bool validateChromeTrace(const std::string &json, std::string *error,
+                         std::uint64_t *completeEvents = nullptr,
+                         std::size_t *distinctThreads = nullptr);
+
+} // namespace laoram::obs
+
+#endif // LAORAM_OBS_TRACE_HH

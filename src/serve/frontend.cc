@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.hh"
 #include "util/bounded_queue.hh"
 #include "util/logging.hh"
 #include "util/walltime.hh"
@@ -12,6 +13,34 @@
 namespace laoram::serve {
 
 namespace {
+
+/** Live frontend metrics (process-wide; lanes share the handles). */
+struct FrontendMetrics
+{
+    obs::Counter &sessions;
+    obs::Gauge &admissionDepth;
+    obs::Counter &rejects;
+    obs::Histogram &batchOps;
+    obs::Histogram &windowOps;
+};
+
+FrontendMetrics &
+frontendMetrics()
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    static FrontendMetrics m{
+        reg.counter("serve.sessions", "client sessions opened"),
+        reg.gauge("serve.admission_depth",
+                  "operations admitted but not yet coalesced"),
+        reg.counter("serve.rejects",
+                    "operations refused at admission"),
+        reg.histogram("serve.batch_ops",
+                      "operations per submitted batch"),
+        reg.histogram("serve.window_ops",
+                      "operations per coalesced window"),
+    };
+    return m;
+}
 
 /**
  * One batch's shared completion state. Result slots are pre-sized at
@@ -103,12 +132,16 @@ class ServeFrontend::ShardLane final : public core::ServeSource
                     continue; // nothing pending at the flush point
                 break;        // cut the partial window now
             }
+            if (obs::metricsEnabled())
+                frontendMetrics().admissionDepth.dec();
             plan.byId[op.localId].push_back(plan.ops.size());
             out.accesses.push_back(op.localId);
             plan.ops.push_back(std::move(op));
         }
         if (out.accesses.empty())
             return false;
+        if (obs::metricsEnabled())
+            frontendMetrics().windowOps.record(out.accesses.size());
         out.windowIndex = windowsEmitted++;
         out.traceOffset = accessesEmitted;
         accessesEmitted += out.accesses.size();
@@ -250,6 +283,8 @@ ServeFrontend::~ServeFrontend()
 Session
 ServeFrontend::session()
 {
+    if (obs::metricsEnabled())
+        frontendMetrics().sessions.inc();
     return Session(*this, nextSession.fetch_add(
                               1, std::memory_order_relaxed));
 }
@@ -280,6 +315,8 @@ ServeFrontend::submit(Batch batch)
     state->remaining.store(
         static_cast<std::uint32_t>(batch.ops.size()),
         std::memory_order_relaxed);
+    if (obs::metricsEnabled())
+        frontendMetrics().batchOps.record(batch.ops.size());
 
     const WallClock::time_point now = WallClock::now();
     for (std::size_t i = 0; i < batch.ops.size(); ++i) {
@@ -309,11 +346,15 @@ ServeFrontend::submit(Batch batch)
             // stop): fail the batch. Operations already admitted
             // still serve — their side effects apply — but the
             // rejected flag makes the last completer fail the future.
+            if (obs::metricsEnabled())
+                frontendMetrics().rejects.add(batch.ops.size() - i);
             state->rejected.store(true, std::memory_order_release);
             state->complete(
                 static_cast<std::uint32_t>(batch.ops.size() - i));
             break;
         }
+        if (obs::metricsEnabled())
+            frontendMetrics().admissionDepth.inc();
     }
     return fut;
 }

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace laoram::storage {
@@ -17,6 +19,31 @@ namespace {
 
 constexpr std::uint32_t kMaxFrameBytes = 1u << 30; ///< 1 GiB sanity cap
 constexpr std::uint8_t kResponseBit = 0x80;
+
+obs::Gauge &
+inflightWritesGauge()
+{
+    static obs::Gauge &g = obs::MetricsRegistry::instance().gauge(
+        "storage.remote.inflight_writes",
+        "async write/flush RPCs parked in the pipelining window");
+    return g;
+}
+
+/** Span name for a completed RPC, by request opcode. */
+const char *
+rpcSpanName(std::uint8_t op)
+{
+    switch (static_cast<RemoteOp>(op)) {
+      case RemoteOp::ReadSlots:
+        return "rpc-read";
+      case RemoteOp::WriteSlots:
+        return "rpc-write";
+      case RemoteOp::Flush:
+        return "rpc-flush";
+      default:
+        return "rpc";
+    }
+}
 
 /** Paranoia cap on slot counts from the wire (a path union is small). */
 constexpr std::uint64_t kMaxSlotsPerRpc = 1u << 22;
@@ -440,6 +467,8 @@ RemoteKvBackend::dispatchRequest()
     PendingRpc pending;
     pending.seq = nextSeq;
     pending.op = frameScratch[0];
+    if (obs::tracingEnabled())
+        pending.dispatchNs = obs::traceNowNs();
     Completion completion = pending.promise.get_future();
     pendingRpcs.push_back(std::move(pending));
     ++nextSeq;
@@ -476,6 +505,13 @@ RemoteKvBackend::harvestOne()
     // In-order stream: every response must match the oldest request.
     if (op != (pending.op | kResponseBit) || seq != pending.seq)
         connectionLost("response sequencing");
+    if (pending.dispatchNs >= 0 && obs::tracingEnabled()) {
+        // Full round trip, dispatch to harvest — for an async write
+        // this includes the time it sat pipelined in the window.
+        obs::traceRecord(rpcSpanName(pending.op), pending.dispatchNs,
+                         obs::traceNowNs() - pending.dispatchNs,
+                         pending.seq);
+    }
     frame.erase(frame.begin(), frame.begin() + 9);
     pending.promise.set_value(std::move(frame));
 }
@@ -497,6 +533,10 @@ RemoteKvBackend::reapCompletedWrites()
                   == std::future_status::ready) {
         pendingWrites.front().get(); // ack body is empty
         pendingWrites.pop_front();
+    }
+    if (obs::metricsEnabled()) {
+        inflightWritesGauge().set(
+            static_cast<std::int64_t>(pendingWrites.size()));
     }
 }
 
@@ -566,6 +606,10 @@ RemoteKvBackend::doWriteSlots(const std::uint64_t *slots, std::size_t n,
     }
     frame.insert(frame.end(), src, src + n * recBytes);
     pendingWrites.push_back(dispatchRequest());
+    if (obs::metricsEnabled()) {
+        inflightWritesGauge().set(
+            static_cast<std::int64_t>(pendingWrites.size()));
+    }
 }
 
 void
@@ -580,6 +624,8 @@ RemoteKvBackend::doFlush()
         pendingWrites.front().get();
         pendingWrites.pop_front();
     }
+    if (obs::metricsEnabled())
+        inflightWritesGauge().set(0);
 }
 
 std::uint64_t

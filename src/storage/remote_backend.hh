@@ -257,6 +257,8 @@ class RemoteKvBackend final : public SlotBackend
         std::uint64_t seq = 0;
         std::uint8_t op = 0;
         std::promise<std::vector<std::uint8_t>> promise;
+        /** Tracer timestamp at dispatch (-1 = tracing was off). */
+        std::int64_t dispatchNs = -1;
     };
     mutable std::deque<PendingRpc> pendingRpcs;
 

@@ -1,5 +1,10 @@
 #include "storage/slot_backend.hh"
 
+#include <map>
+#include <mutex>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "storage/dram_backend.hh"
 #include "storage/mmap_backend.hh"
 #include "storage/remote_backend.hh"
@@ -7,6 +12,65 @@
 #include "util/walltime.hh"
 
 namespace laoram::storage {
+
+/**
+ * Live mirror of the IoStats ledger, one handle set per backend
+ * *kind*: every instance of a kind (shard engines, the remote
+ * server's inner store) shares the same storage.<kind>.* series, so
+ * the sampled totals are process-wide.
+ */
+struct BackendObs
+{
+    obs::Counter &readOps;
+    obs::Counter &writeOps;
+    obs::Counter &slotsRead;
+    obs::Counter &slotsWritten;
+    obs::Counter &bytesRead;
+    obs::Counter &bytesWritten;
+    obs::Counter &flushes;
+    obs::Counter &readNs;
+    obs::Counter &writeNs;
+};
+
+namespace {
+
+BackendObs &
+backendObsFor(const std::string &kind)
+{
+    static std::mutex mu;
+    static std::map<std::string, std::unique_ptr<BackendObs>> cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(kind);
+    if (it == cache.end()) {
+        auto &reg = obs::MetricsRegistry::instance();
+        const std::string p = "storage." + kind + ".";
+        it = cache
+                 .emplace(kind,
+                          std::unique_ptr<BackendObs>(new BackendObs{
+                              reg.counter(p + "read_ops"),
+                              reg.counter(p + "write_ops"),
+                              reg.counter(p + "slots_read"),
+                              reg.counter(p + "slots_written"),
+                              reg.counter(p + "bytes_read"),
+                              reg.counter(p + "bytes_written"),
+                              reg.counter(p + "flushes"),
+                              reg.counter(p + "read_ns"),
+                              reg.counter(p + "write_ns"),
+                          }))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace
+
+BackendObs &
+SlotBackend::boundObs()
+{
+    if (obs_ == nullptr)
+        obs_ = &backendObsFor(name());
+    return *obs_;
+}
 
 IoStats
 IoStats::since(const IoStats &start) const
@@ -67,10 +131,18 @@ SlotBackend::readSlot(std::uint64_t slot, std::uint8_t *dst)
     LAORAM_ASSERT(slot < nSlots, "slot ", slot, " out of range");
     const WallClock::time_point t0 = WallClock::now();
     doReadSlot(slot, dst);
-    stats.readNs += elapsedNs(t0);
+    const std::int64_t ns = elapsedNs(t0);
+    stats.readNs += ns;
     ++stats.readOps;
     ++stats.slotsRead;
     stats.bytesRead += recBytes;
+    if (obs::metricsEnabled()) {
+        BackendObs &o = boundObs();
+        o.readOps.inc();
+        o.slotsRead.inc();
+        o.bytesRead.add(recBytes);
+        o.readNs.add(static_cast<std::uint64_t>(ns));
+    }
 }
 
 void
@@ -79,10 +151,18 @@ SlotBackend::writeSlot(std::uint64_t slot, const std::uint8_t *src)
     LAORAM_ASSERT(slot < nSlots, "slot ", slot, " out of range");
     const WallClock::time_point t0 = WallClock::now();
     doWriteSlot(slot, src);
-    stats.writeNs += elapsedNs(t0);
+    const std::int64_t ns = elapsedNs(t0);
+    stats.writeNs += ns;
     ++stats.writeOps;
     ++stats.slotsWritten;
     stats.bytesWritten += recBytes;
+    if (obs::metricsEnabled()) {
+        BackendObs &o = boundObs();
+        o.writeOps.inc();
+        o.slotsWritten.inc();
+        o.bytesWritten.add(recBytes);
+        o.writeNs.add(static_cast<std::uint64_t>(ns));
+    }
 }
 
 void
@@ -93,10 +173,19 @@ SlotBackend::readSlots(const std::uint64_t *slots, std::size_t n,
         return;
     const WallClock::time_point t0 = WallClock::now();
     doReadSlots(slots, n, dst);
-    stats.readNs += elapsedNs(t0);
+    const std::int64_t ns = elapsedNs(t0);
+    stats.readNs += ns;
     ++stats.readOps;
     stats.slotsRead += n;
     stats.bytesRead += n * recBytes;
+    obs::traceRecordEndingNow("path-read", ns, n);
+    if (obs::metricsEnabled()) {
+        BackendObs &o = boundObs();
+        o.readOps.inc();
+        o.slotsRead.add(n);
+        o.bytesRead.add(n * recBytes);
+        o.readNs.add(static_cast<std::uint64_t>(ns));
+    }
 }
 
 void
@@ -107,10 +196,19 @@ SlotBackend::writeSlots(const std::uint64_t *slots, std::size_t n,
         return;
     const WallClock::time_point t0 = WallClock::now();
     doWriteSlots(slots, n, src);
-    stats.writeNs += elapsedNs(t0);
+    const std::int64_t ns = elapsedNs(t0);
+    stats.writeNs += ns;
     ++stats.writeOps;
     stats.slotsWritten += n;
     stats.bytesWritten += n * recBytes;
+    obs::traceRecordEndingNow("path-write", ns, n);
+    if (obs::metricsEnabled()) {
+        BackendObs &o = boundObs();
+        o.writeOps.inc();
+        o.slotsWritten.add(n);
+        o.bytesWritten.add(n * recBytes);
+        o.writeNs.add(static_cast<std::uint64_t>(ns));
+    }
 }
 
 void
@@ -120,6 +218,8 @@ SlotBackend::flush()
     doFlush();
     stats.flushNs += elapsedNs(t0);
     ++stats.flushes;
+    if (obs::metricsEnabled())
+        boundObs().flushes.inc();
 }
 
 void
@@ -129,6 +229,16 @@ SlotBackend::noteMappedRead(std::uint64_t slotCount, std::int64_t ns)
     stats.slotsRead += slotCount;
     stats.bytesRead += slotCount * recBytes;
     stats.readNs += ns;
+    // The mapped fast path only measures a duration, so the span is
+    // back-dated to end at the report point.
+    obs::traceRecordEndingNow("path-read", ns, slotCount);
+    if (obs::metricsEnabled()) {
+        BackendObs &o = boundObs();
+        o.readOps.inc();
+        o.slotsRead.add(slotCount);
+        o.bytesRead.add(slotCount * recBytes);
+        o.readNs.add(static_cast<std::uint64_t>(ns));
+    }
 }
 
 void
@@ -138,6 +248,14 @@ SlotBackend::noteMappedWrite(std::uint64_t slotCount, std::int64_t ns)
     stats.slotsWritten += slotCount;
     stats.bytesWritten += slotCount * recBytes;
     stats.writeNs += ns;
+    obs::traceRecordEndingNow("path-write", ns, slotCount);
+    if (obs::metricsEnabled()) {
+        BackendObs &o = boundObs();
+        o.writeOps.inc();
+        o.slotsWritten.add(slotCount);
+        o.bytesWritten.add(slotCount * recBytes);
+        o.writeNs.add(static_cast<std::uint64_t>(ns));
+    }
 }
 
 void

@@ -33,6 +33,9 @@
 
 namespace laoram::storage {
 
+/** Per-backend-kind live metric handles (see slot_backend.cc). */
+struct BackendObs;
+
 /** Monotonic I/O ledger of one backend (value type; freely copyable). */
 struct IoStats
 {
@@ -291,6 +294,16 @@ class SlotBackend
     std::uint64_t nSlots;
     std::uint64_t recBytes;
     IoStats stats;
+
+  private:
+    /**
+     * Live metric handles for this backend's kind, bound lazily on
+     * the first enabled update — name() is virtual, so binding in
+     * the base constructor would dispatch to the wrong class.
+     */
+    BackendObs &boundObs();
+
+    BackendObs *obs_ = nullptr; ///< points into a process-wide cache
 };
 
 /**

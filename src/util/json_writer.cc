@@ -1,0 +1,225 @@
+#include "util/json_writer.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace laoram::util {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no inf/nan
+    std::ostringstream os;
+    // 15 significant digits: enough for nanosecond-derived
+    // timestamps without turning 0.1 into 0.100000000000000006.
+    os.precision(15);
+    os << v;
+    return os.str();
+}
+
+JsonWriter::JsonWriter(std::ostream &os, unsigned indent)
+    : os(os), indent(indent)
+{
+}
+
+bool
+JsonWriter::done() const
+{
+    return topEmitted && stack.empty();
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (indent == 0)
+        return;
+    os << '\n';
+    for (std::size_t i = 0; i < stack.size() * indent; ++i)
+        os << ' ';
+}
+
+void
+JsonWriter::beforeValue(bool isKey)
+{
+    if (keyPending) {
+        LAORAM_ASSERT(!isKey, "json key after key");
+        keyPending = false;
+        return; // the key already emitted "name": — value follows
+    }
+    if (stack.empty()) {
+        LAORAM_ASSERT(!isKey, "json key outside an object");
+        LAORAM_ASSERT(!topEmitted,
+                      "second top-level json value");
+        topEmitted = true;
+        return;
+    }
+    const Frame frame = stack.back();
+    LAORAM_ASSERT(isKey == (frame == Frame::Object),
+                  "json ", isKey ? "key inside an array"
+                                 : "bare value inside an object");
+    if (counts.back() > 0)
+        os << ',';
+    ++counts.back();
+    newlineIndent();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue(false);
+    os << '{';
+    stack.push_back(Frame::Object);
+    counts.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    LAORAM_ASSERT(!stack.empty() && stack.back() == Frame::Object
+                      && !keyPending,
+                  "unbalanced json endObject");
+    const bool hadMembers = counts.back() > 0;
+    stack.pop_back();
+    counts.pop_back();
+    if (hadMembers)
+        newlineIndent();
+    os << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue(false);
+    os << '[';
+    stack.push_back(Frame::Array);
+    counts.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    LAORAM_ASSERT(!stack.empty() && stack.back() == Frame::Array,
+                  "unbalanced json endArray");
+    const bool hadMembers = counts.back() > 0;
+    stack.pop_back();
+    counts.pop_back();
+    if (hadMembers)
+        newlineIndent();
+    os << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    beforeValue(true);
+    os << '"' << jsonEscape(k) << "\":";
+    if (indent > 0)
+        os << ' ';
+    keyPending = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue(false);
+    os << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue(false);
+    os << jsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue(false);
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue(false);
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue(false);
+    os << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue(false);
+    os << "null";
+    return *this;
+}
+
+} // namespace laoram::util

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Streaming JSON emission shared by every machine-readable output in
+ * the tree: the bench BENCH_<name>.json files, the metrics sampler's
+ * JSON-lines time series, the Chrome-trace span dump, and the
+ * examples' --report-json run reports.
+ *
+ * One escaping/number-formatting implementation instead of one per
+ * call site. The writer is a thin state machine over an ostream —
+ * begin/end object/array, key(), value() — that inserts commas and
+ * (optionally) indentation; misuse (a value where a key is required,
+ * unbalanced end calls) is a library bug and panics.
+ */
+
+#ifndef LAORAM_UTIL_JSON_WRITER_HH
+#define LAORAM_UTIL_JSON_WRITER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace laoram::util {
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Render @p v as a JSON number token; non-finite doubles become
+ * "null" (JSON has no inf/nan).
+ */
+std::string jsonNumber(double v);
+
+/** Incremental JSON writer; see file comment. */
+class JsonWriter
+{
+  public:
+    /**
+     * @param indent spaces per nesting level; 0 emits one compact
+     *        line (the JSON-lines shape the sampler needs)
+     */
+    explicit JsonWriter(std::ostream &os, unsigned indent = 0);
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member name; must be followed by a value or container. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** key(k) + value(v) in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** True once the single top-level value is complete. */
+    bool done() const;
+
+  private:
+    enum class Frame : std::uint8_t { Object, Array };
+
+    /** Comma/newline/indent bookkeeping before a key or value. */
+    void beforeValue(bool isKey);
+    void newlineIndent();
+
+    std::ostream &os;
+    unsigned indent;
+    std::vector<Frame> stack;
+    std::vector<std::uint32_t> counts; ///< members emitted per frame
+    bool keyPending = false; ///< key() emitted, value outstanding
+    bool topEmitted = false;
+};
+
+} // namespace laoram::util
+
+#endif // LAORAM_UTIL_JSON_WRITER_HH

@@ -21,6 +21,44 @@ setLogLevel(LogLevel level)
     g_level = level;
 }
 
+bool
+parseLogLevel(const std::string &text, LogLevel *out)
+{
+    std::string lower;
+    lower.reserve(text.size());
+    for (char c : text)
+        lower += (c >= 'A' && c <= 'Z')
+                     ? static_cast<char>(c - 'A' + 'a')
+                     : c;
+    if (lower == "quiet" || lower == "0")
+        *out = LogLevel::Quiet;
+    else if (lower == "warn" || lower == "1")
+        *out = LogLevel::Warn;
+    else if (lower == "info" || lower == "2")
+        *out = LogLevel::Info;
+    else if (lower == "debug" || lower == "3")
+        *out = LogLevel::Debug;
+    else
+        return false;
+    return true;
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Quiet:
+        return "quiet";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "?";
+}
+
 namespace detail {
 
 void

@@ -32,6 +32,16 @@ enum class LogLevel : std::uint8_t {
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
 
+/**
+ * Parse a level name ("quiet", "warn", "info", "debug" — case
+ * insensitive) or its numeric value ("0".."3") into @p out. Returns
+ * false, leaving @p out untouched, on anything else.
+ */
+bool parseLogLevel(const std::string &text, LogLevel *out);
+
+/** Stable lower-case name for a level ("quiet", "warn", ...). */
+const char *logLevelName(LogLevel level);
+
 namespace detail {
 
 /** Emit a formatted message and abort; never returns. */

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * MetricsRegistry tests: handle identity, snapshot/exposition shape,
+ * and the concurrent increment-while-sampling contract the background
+ * sampler relies on (runs under TSan in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace laoram::obs {
+namespace {
+
+class ObsMetricsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        MetricsRegistry::instance().resetForTest();
+        setMetricsEnabled(false);
+    }
+
+    void
+    TearDown() override
+    {
+        MetricsRegistry::instance().resetForTest();
+        setMetricsEnabled(false);
+    }
+};
+
+TEST_F(ObsMetricsTest, SameNameReturnsSameHandle)
+{
+    auto &reg = MetricsRegistry::instance();
+    Counter &a = reg.counter("test.same_name");
+    Counter &b = reg.counter("test.same_name");
+    EXPECT_EQ(&a, &b);
+    a.inc();
+    b.add(2);
+    EXPECT_EQ(a.get(), 3u);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetMaxIsMonotonic)
+{
+    Gauge &g = MetricsRegistry::instance().gauge("test.peak");
+    g.setMax(10);
+    g.setMax(4);
+    EXPECT_EQ(g.get(), 10);
+    g.setMax(12);
+    EXPECT_EQ(g.get(), 12);
+}
+
+TEST_F(ObsMetricsTest, HistogramTracksCountSumMaxAndQuantiles)
+{
+    Histogram &h = MetricsRegistry::instance().histogram("test.sizes");
+    for (std::uint64_t v : {1u, 2u, 4u, 8u, 1024u})
+        h.record(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1039u);
+    EXPECT_EQ(h.max(), 1024u);
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+}
+
+TEST_F(ObsMetricsTest, SnapshotExpandsHistograms)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("test.c").add(7);
+    reg.gauge("test.g").set(-3);
+    reg.histogram("test.h").record(16);
+
+    const MetricsSnapshot snap = reg.snapshot();
+    bool sawCounter = false, sawGauge = false, sawHistCount = false,
+         sawHistP99 = false;
+    for (const auto &v : snap.values) {
+        if (v.name == "test.c") {
+            sawCounter = true;
+            EXPECT_DOUBLE_EQ(v.value, 7.0);
+        } else if (v.name == "test.g") {
+            sawGauge = true;
+            EXPECT_DOUBLE_EQ(v.value, -3.0);
+        } else if (v.name == "test.h.count") {
+            sawHistCount = true;
+            EXPECT_DOUBLE_EQ(v.value, 1.0);
+        } else if (v.name == "test.h.p99") {
+            sawHistP99 = true;
+        }
+    }
+    EXPECT_TRUE(sawCounter);
+    EXPECT_TRUE(sawGauge);
+    EXPECT_TRUE(sawHistCount);
+    EXPECT_TRUE(sawHistP99);
+}
+
+TEST_F(ObsMetricsTest, PrometheusTextMapsNames)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("test.prom.reads", "read ops").add(5);
+    const std::string text = reg.prometheusText();
+    EXPECT_NE(text.find("laoram_test_prom_reads 5"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE laoram_test_prom_reads counter"),
+              std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, EnabledGateFlips)
+{
+    EXPECT_FALSE(metricsEnabled());
+    setMetricsEnabled(true);
+    EXPECT_TRUE(metricsEnabled());
+    setMetricsEnabled(false);
+    EXPECT_FALSE(metricsEnabled());
+}
+
+/**
+ * The sampler contract: snapshot() runs concurrently with hot-path
+ * updates and must stay race-free (this is the suite CI runs under
+ * TSan) and never lose a counted increment by the time the writers
+ * have joined.
+ */
+TEST_F(ObsMetricsTest, ConcurrentIncrementsSurviveSampling)
+{
+    auto &reg = MetricsRegistry::instance();
+    Counter &c = reg.counter("test.race.counter");
+    Histogram &h = reg.histogram("test.race.hist");
+
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPerThread = 50000;
+
+    std::atomic<bool> stop{false};
+    std::thread sampler([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const MetricsSnapshot snap = reg.snapshot();
+            for (const auto &v : snap.values)
+                EXPECT_GE(v.value, 0.0);
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                c.inc();
+                h.record(i & 0xFF);
+            }
+        });
+    }
+    for (std::thread &t : writers)
+        t.join();
+    stop.store(true, std::memory_order_relaxed);
+    sampler.join();
+
+    EXPECT_EQ(c.get(), kThreads * kPerThread);
+    EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+} // namespace
+} // namespace laoram::obs

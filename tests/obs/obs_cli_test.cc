@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Observability CLI tests: the shared metrics/trace/log-level/
+ * report-json option bundle resolves and rejects exactly as
+ * documented, and log-level parsing accepts names and digits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/obs_cli.hh"
+#include "util/cli.hh"
+
+namespace laoram::obs {
+namespace {
+
+struct ParsedObs
+{
+    ArgParser args{"obs_test", "test"};
+    ObsArgs oa;
+
+    ParsedObs() : oa(addObsArgs(args)) {}
+
+    bool
+    parse(std::vector<std::string> argv)
+    {
+        return args.parseVector(std::move(argv));
+    }
+};
+
+TEST(ObsCli, DefaultsResolveToDisabledSurface)
+{
+    ParsedObs p;
+    ASSERT_TRUE(p.parse({}));
+    ObsConfig cfg;
+    ASSERT_TRUE(obsConfigFromArgsChecked(p.oa, &cfg));
+    EXPECT_TRUE(cfg.metricsOut.empty());
+    EXPECT_TRUE(cfg.metricsProm.empty());
+    EXPECT_TRUE(cfg.traceOut.empty());
+    EXPECT_TRUE(cfg.reportJson.empty());
+    EXPECT_FALSE(cfg.logLevelSet);
+    EXPECT_EQ(cfg.metricsIntervalMs, 100u);
+}
+
+TEST(ObsCli, FullSurfaceParses)
+{
+    ParsedObs p;
+    ASSERT_TRUE(p.parse({"--metrics-out", "m.jsonl",
+                         "--metrics-interval-ms", "10",
+                         "--metrics-prom", "m.prom", "--trace-out",
+                         "t.json", "--trace-buffer", "1024",
+                         "--log-level", "debug", "--report-json",
+                         "r.json"}));
+    ObsConfig cfg;
+    std::string error;
+    ASSERT_TRUE(obsConfigFromArgsChecked(p.oa, &cfg, &error)) << error;
+    EXPECT_EQ(cfg.metricsOut, "m.jsonl");
+    EXPECT_EQ(cfg.metricsIntervalMs, 10u);
+    EXPECT_EQ(cfg.metricsProm, "m.prom");
+    EXPECT_EQ(cfg.traceOut, "t.json");
+    EXPECT_EQ(cfg.traceBufferEvents, 1024u);
+    EXPECT_EQ(cfg.reportJson, "r.json");
+    EXPECT_TRUE(cfg.logLevelSet);
+    EXPECT_EQ(cfg.logLevel, LogLevel::Debug);
+}
+
+TEST(ObsCli, IntervalWithoutMetricsOutRejected)
+{
+    ParsedObs p;
+    ASSERT_TRUE(p.parse({"--metrics-interval-ms", "50"}));
+    ObsConfig cfg;
+    std::string error;
+    EXPECT_FALSE(obsConfigFromArgsChecked(p.oa, &cfg, &error));
+    EXPECT_NE(error.find("--metrics-out"), std::string::npos);
+}
+
+TEST(ObsCli, ZeroIntervalRejected)
+{
+    ParsedObs p;
+    ASSERT_TRUE(p.parse(
+        {"--metrics-out", "m.jsonl", "--metrics-interval-ms", "0"}));
+    ObsConfig cfg;
+    EXPECT_FALSE(obsConfigFromArgsChecked(p.oa, &cfg));
+}
+
+TEST(ObsCli, TraceBufferWithoutTraceOutRejected)
+{
+    ParsedObs p;
+    ASSERT_TRUE(p.parse({"--trace-buffer", "512"}));
+    ObsConfig cfg;
+    std::string error;
+    EXPECT_FALSE(obsConfigFromArgsChecked(p.oa, &cfg, &error));
+    EXPECT_NE(error.find("--trace-out"), std::string::npos);
+}
+
+TEST(ObsCli, ZeroTraceBufferRejected)
+{
+    ParsedObs p;
+    ASSERT_TRUE(
+        p.parse({"--trace-out", "t.json", "--trace-buffer", "0"}));
+    ObsConfig cfg;
+    EXPECT_FALSE(obsConfigFromArgsChecked(p.oa, &cfg));
+}
+
+TEST(ObsCli, BadLogLevelRejected)
+{
+    ParsedObs p;
+    ASSERT_TRUE(p.parse({"--log-level", "chatty"}));
+    ObsConfig cfg;
+    std::string error;
+    EXPECT_FALSE(obsConfigFromArgsChecked(p.oa, &cfg, &error));
+    EXPECT_NE(error.find("chatty"), std::string::npos);
+}
+
+TEST(ObsCli, ExplicitDefaultIntervalStillNeedsMetricsOut)
+{
+    // The seen-tracker catches an explicitly passed default value.
+    ParsedObs p;
+    ASSERT_TRUE(p.parse({"--metrics-interval-ms", "100"}));
+    ObsConfig cfg;
+    EXPECT_FALSE(obsConfigFromArgsChecked(p.oa, &cfg));
+}
+
+TEST(ParseLogLevel, AcceptsNamesAndDigits)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_TRUE(parseLogLevel("quiet", &level));
+    EXPECT_EQ(level, LogLevel::Quiet);
+    EXPECT_TRUE(parseLogLevel("WARN", &level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("info", &level));
+    EXPECT_EQ(level, LogLevel::Info);
+    EXPECT_TRUE(parseLogLevel("Debug", &level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(parseLogLevel("0", &level));
+    EXPECT_EQ(level, LogLevel::Quiet);
+    EXPECT_TRUE(parseLogLevel("3", &level));
+    EXPECT_EQ(level, LogLevel::Debug);
+}
+
+TEST(ParseLogLevel, RejectsUnknownLeavingOutputUntouched)
+{
+    LogLevel level = LogLevel::Warn;
+    EXPECT_FALSE(parseLogLevel("verbose", &level));
+    EXPECT_FALSE(parseLogLevel("7", &level));
+    EXPECT_FALSE(parseLogLevel("", &level));
+    EXPECT_EQ(level, LogLevel::Warn);
+}
+
+TEST(ParseLogLevel, NameRoundTrips)
+{
+    for (LogLevel l : {LogLevel::Quiet, LogLevel::Warn, LogLevel::Info,
+                       LogLevel::Debug}) {
+        LogLevel parsed = LogLevel::Quiet;
+        EXPECT_TRUE(parseLogLevel(logLevelName(l), &parsed));
+        EXPECT_EQ(parsed, l);
+    }
+}
+
+} // namespace
+} // namespace laoram::obs

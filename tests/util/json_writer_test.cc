@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the shared JSON emission helpers: escaping, number
+ * rendering, and the streaming JsonWriter state machine every
+ * machine-readable output (bench JSON, sampler, tracer, run reports)
+ * is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/json_writer.hh"
+
+namespace laoram::util {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonNumber, FiniteValues)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(2.5), "2.5");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+}
+
+TEST(JsonNumber, KeepsNanosecondScaleTimestampsExact)
+{
+    // Microsecond trace timestamps derived from a nanosecond clock
+    // need ~13 significant digits; the default ostream precision (6)
+    // would collapse them onto each other.
+    EXPECT_EQ(jsonNumber(1234567890.125), "1234567890.125");
+}
+
+TEST(JsonWriter, CompactObject)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject()
+        .field("a", std::uint64_t{1})
+        .field("b", "x")
+        .field("c", true)
+        .endObject();
+    EXPECT_TRUE(w.done());
+    EXPECT_EQ(os.str(), "{\"a\":1,\"b\":\"x\",\"c\":true}");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject().key("xs").beginArray();
+    w.value(std::uint64_t{1}).value(std::uint64_t{2});
+    w.beginObject().field("y", 3).endObject();
+    w.endArray().endObject();
+    EXPECT_TRUE(w.done());
+    EXPECT_EQ(os.str(), "{\"xs\":[1,2,{\"y\":3}]}");
+}
+
+TEST(JsonWriter, IndentedOutputNestsByLevel)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 2);
+    w.beginObject().field("a", 1).endObject();
+    EXPECT_TRUE(w.done());
+    EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonWriter, EscapesKeysAndStringValues)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject().field("k\"ey", "v\\al").endObject();
+    EXPECT_EQ(os.str(), "{\"k\\\"ey\":\"v\\\\al\"}");
+}
+
+TEST(JsonWriter, NullAndNonFiniteDoubles)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject().key("a").null();
+    w.field("b", std::numeric_limits<double>::infinity());
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\"a\":null,\"b\":null}");
+}
+
+TEST(JsonWriter, DoneOnlyAfterTopLevelValueCompletes)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    EXPECT_FALSE(w.done());
+    w.beginArray();
+    EXPECT_FALSE(w.done());
+    w.endArray();
+    EXPECT_TRUE(w.done());
+}
+
+} // namespace
+} // namespace laoram::util
