@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/cache_cli.hh"
 #include "obs/obs_cli.hh"
 #include "obs/run_report.hh"
 #include "serve/frontend.hh"
@@ -41,6 +42,7 @@ main(int argc, char **argv)
                                "look-ahead window (operations)", 64);
     auto flushUs = args.addUint(
         "flush-us", "partial-window flush period (microseconds)", 200);
+    const auto cacheArgs = cache::addCacheArgs(args);
     const auto obsArgs = obs::addObsArgs(args);
     args.parse(argc, argv);
 
@@ -59,6 +61,10 @@ main(int argc, char **argv)
     cfg.numShards = static_cast<std::uint32_t>(*shards);
     cfg.pipeline.windowAccesses = *window;
     cfg.pipeline.mode = core::PipelineMode::Concurrent;
+    // Optional trusted-client hot-row cache: hot keys complete at
+    // admission time while their scheduled accesses still hit the
+    // ORAM as dummies (server trace unchanged).
+    cfg.engine.cache = cache::cacheConfigFromArgs(cacheArgs);
     core::ShardedLaoram engine(cfg);
 
     std::cout << "online serving: " << *sessions << " sessions x "
@@ -131,7 +137,18 @@ main(int argc, char **argv)
               << "request latency:  p50 " << lat.p50Ns / 1e3
               << " us   p99 " << lat.p99Ns / 1e3 << " us   p99.9 "
               << lat.p999Ns / 1e3 << " us   max " << lat.maxNs / 1e3
-              << " us\n\n"
+              << " us\n\n";
+    if (cfg.engine.cache.enabled()) {
+        const cache::CacheStats &cs = rep.aggregate.cache;
+        std::cout << "hot cache: " << cs.hits << " hits / "
+                  << cs.misses << " misses (hit rate "
+                  << cs.hitRate() * 100.0 << "%), "
+                  << cs.admissionHits
+                  << " ops completed at admission, "
+                  << cs.writebackCoalesced
+                  << " write-backs coalesced\n\n";
+    }
+    std::cout
               << "the server saw only per-shard uniform path traffic; "
                  "which session asked\nfor which key — and whether "
                  "two sessions hit the same key — stays hidden\n"

@@ -1,0 +1,52 @@
+#include "cache/cache_cli.hh"
+
+#include "util/logging.hh"
+
+namespace laoram::cache {
+
+CacheArgs
+addCacheArgs(ArgParser &args)
+{
+    CacheArgs ca;
+    ca.cacheMb = args.addUint(
+        "cache-mb",
+        "trusted-client hot-row cache capacity in MiB (0 = disabled)",
+        0);
+    ca.cachePolicy = args.addString(
+        "cache-policy", "hot-row eviction policy: lru|lfu", "lru");
+    ca.cachePolicySeen = args.seenTracker("cache-policy");
+    return ca;
+}
+
+bool
+cacheConfigFromArgsChecked(const CacheArgs &ca, CacheConfig *out,
+                           std::string *error)
+{
+    auto fail = [error](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+
+    CacheConfig cfg;
+    cfg.capacityBytes = *ca.cacheMb * (std::uint64_t{1} << 20);
+    if (!parsePolicy(*ca.cachePolicy, &cfg.policy))
+        return fail("unknown --cache-policy '" + *ca.cachePolicy +
+                    "' (want lru|lfu)");
+    if (*ca.cachePolicySeen && !cfg.enabled())
+        return fail("--cache-policy requires --cache-mb > 0");
+    *out = cfg;
+    return true;
+}
+
+CacheConfig
+cacheConfigFromArgs(const CacheArgs &ca)
+{
+    CacheConfig cfg;
+    std::string error;
+    if (!cacheConfigFromArgsChecked(ca, &cfg, &error))
+        LAORAM_FATAL(error);
+    return cfg;
+}
+
+} // namespace laoram::cache

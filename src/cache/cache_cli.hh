@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared CLI plumbing for the hot-embedding cache tier: every
+ * serving example registers the same --cache-mb / --cache-policy
+ * options with one addCacheArgs() call and resolves them into a
+ * CacheConfig with another. Capacity is expressed in MiB because
+ * that is the unit operators size a client-side row cache in; 0
+ * (the default) leaves the cache disabled and the client on the
+ * pure-ORAM path.
+ */
+
+#ifndef LAORAM_CACHE_CACHE_CLI_HH
+#define LAORAM_CACHE_CACHE_CLI_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/hot_cache.hh"
+#include "util/cli.hh"
+
+namespace laoram::cache {
+
+/** Parsed cache option handles (valid after parse). */
+struct CacheArgs
+{
+    std::shared_ptr<std::uint64_t> cacheMb; ///< capacity (MiB); 0 = off
+    std::shared_ptr<std::string> cachePolicy; ///< "lru" | "lfu"
+    std::shared_ptr<bool> cachePolicySeen;
+};
+
+/** Register the shared cache options on @p args. */
+CacheArgs addCacheArgs(ArgParser &args);
+
+/**
+ * Resolve parsed options into @p out without exiting: false (with
+ * @p error set when non-null) on an unknown --cache-policy name or a
+ * --cache-policy given without --cache-mb. The testable core of
+ * cacheConfigFromArgs.
+ */
+bool cacheConfigFromArgsChecked(const CacheArgs &ca, CacheConfig *out,
+                                std::string *error = nullptr);
+
+/** Resolve parsed options; fatal (exit 1) on anything the checked
+ *  variant rejects. */
+CacheConfig cacheConfigFromArgs(const CacheArgs &ca);
+
+} // namespace laoram::cache
+
+#endif // LAORAM_CACHE_CACHE_CLI_HH

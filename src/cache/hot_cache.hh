@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Trusted-client hot-embedding cache tier.
+ *
+ * Zipfian embedding workloads concentrate most touches on a tiny hot
+ * set, so the client keeps a bounded cache of hot rows in its own
+ * (trusted) DRAM and serves them without waiting for the ORAM path
+ * read. The non-negotiable invariant is obliviousness: the client
+ * STILL ISSUES EVERY SCHEDULED ORAM ACCESS, hit or miss — a hit only
+ * changes which bytes the client considers authoritative, never which
+ * slots the server sees touched. The server-visible access sequence
+ * is byte-identical with the cache on or off (enforced by
+ * tests/integration/cache_differential_test.cc).
+ *
+ * Protocol (engine serving thread, per scheduled access of block id):
+ *
+ *   switch (cache.beginScheduledAccess(id, stashPayload)) {
+ *   case Miss:       applyOps(stashPayload); cache.fill(id, ...); break;
+ *   case HitInPlace: applyOps(stashPayload);   // payload <- row copy
+ *                    cache.completeScheduledAccess(id, stashPayload);
+ *                    break;
+ *   case Flushed:    break;  // admission-time ops already folded in;
+ *   }                        // this access was their write-back
+ *
+ * The frontend fast path (tryServeAtAdmission) applies an operation
+ * to the cached row at coalesce time — on a prep/assembler thread,
+ * completing the client future at DRAM speed — and pins the row until
+ * its scheduled access flushes the new value back into the stash
+ * (write-back coalescing: the SGD update rides the access that was
+ * already going to happen). Pinned rows are never evicted, so a
+ * deferred write-back cannot be lost.
+ *
+ * The cache is trusted client state like the position map: its
+ * contents (which ids are hot) are exactly what ORAM hides, so it
+ * checkpoints into the client-side snapshot sidecar (save/restore)
+ * and must never leak server-side.
+ */
+
+#ifndef LAORAM_CACHE_HOT_CACHE_HH
+#define LAORAM_CACHE_HOT_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "oram/types.hh"
+#include "util/serde.hh"
+
+namespace laoram::cache {
+
+/** Eviction policy for the hot-row cache. */
+enum class CachePolicy : std::uint8_t {
+    Lru = 0, ///< evict the least-recently-touched row
+    Lfu = 1, ///< evict the least-frequently-touched row (LRU tiebreak)
+};
+
+/** Stable lower-case name ("lru" / "lfu"). */
+const char *policyName(CachePolicy policy);
+
+/** Parse "lru"/"lfu" (case-insensitive); false on anything else. */
+bool parsePolicy(const std::string &text, CachePolicy *out);
+
+/** Client-side cache sizing/policy knobs (0 capacity = disabled). */
+struct CacheConfig
+{
+    std::uint64_t capacityBytes = 0; ///< row-data budget; 0 disables
+    CachePolicy policy = CachePolicy::Lru;
+
+    bool enabled() const { return capacityBytes > 0; }
+};
+
+/** Counters + occupancy snapshot for reports and live metrics. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;   ///< scheduled accesses served from DRAM
+    std::uint64_t misses = 0; ///< scheduled accesses that went to ORAM
+    std::uint64_t evictions = 0;
+    /** Deferred admission-time ops flushed into a scheduled access. */
+    std::uint64_t writebackCoalesced = 0;
+    /** Ops applied + completed at admission (frontend fast path). */
+    std::uint64_t admissionHits = 0;
+
+    std::uint64_t residentRows = 0;  ///< occupancy level (not a counter)
+    std::uint64_t residentBytes = 0; ///< occupancy level (not a counter)
+    std::uint64_t capacityRows = 0;  ///< configured row budget
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t accesses = hits + misses;
+        return accesses ? static_cast<double>(hits)
+                              / static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    /** Sum counters; occupancy/capacity levels add (per-shard merge). */
+    void accumulate(const CacheStats &other);
+
+    /** Counter delta since @p start (levels keep this side's values). */
+    CacheStats deltaFrom(const CacheStats &start) const;
+};
+
+/** Outcome of beginScheduledAccess (see file header for protocol). */
+enum class AccessOutcome : std::uint8_t {
+    Miss,       ///< not resident: touch the stash payload, then fill()
+    HitInPlace, ///< payload <- row; touch it, completeScheduledAccess()
+    Flushed,    ///< payload <- row; pinned write-back coalesced, done
+};
+
+/**
+ * Bounded map of hot embedding rows, all payloadBytes wide.
+ *
+ * Thread safety: one internal mutex serializes every operation. The
+ * engine serving thread and the frontend assembler threads contend on
+ * it; callbacks passed to tryServeAtAdmission run under the lock and
+ * must not re-enter the cache or take locks ordered before it.
+ * Deliberately consumes no engine randomness, so attaching a cache
+ * cannot perturb the deterministic access schedule.
+ */
+class HotEmbeddingCache
+{
+  public:
+    /** @p rowBytes must equal the engine payloadBytes (> 0). */
+    HotEmbeddingCache(const CacheConfig &config, std::uint64_t rowBytes);
+
+    /**
+     * Serving-thread entry for the scheduled access of @p id. On any
+     * kind of hit the authoritative row is copied into @p payload.
+     */
+    AccessOutcome beginScheduledAccess(oram::BlockId id,
+                                       std::vector<std::uint8_t> &payload);
+
+    /** Write the touched @p payload back into the row (HitInPlace). */
+    void completeScheduledAccess(oram::BlockId id,
+                                 const std::vector<std::uint8_t> &payload);
+
+    /** Miss fill: admit a copy of @p payload, evicting as needed. */
+    void fill(oram::BlockId id, const std::vector<std::uint8_t> &payload);
+
+    /**
+     * Frontend fast path (assembler thread): if @p id is resident,
+     * run @p fn on the row under the lock, pin the row until its
+     * scheduled access flushes, and return true. The caller must
+     * guarantee that no earlier planned (non-fast) operation on the
+     * same id is still outstanding, or arrival order is violated.
+     */
+    bool tryServeAtAdmission(
+        oram::BlockId id,
+        const std::function<void(std::vector<std::uint8_t> &)> &fn);
+
+    /**
+     * Keep a resident row coherent with a payload mutated outside the
+     * scheduled-access protocol (single-access readBlock/writeBlock
+     * path). No-op when @p id is not resident; touches no counters.
+     */
+    void syncIfResident(oram::BlockId id,
+                        const std::vector<std::uint8_t> &payload);
+
+    CacheStats stats() const;
+    std::uint64_t rowBytes() const { return bytesPerRow; }
+    std::uint64_t capacityRows() const { return maxRows; }
+    const CacheConfig &config() const { return cfg; }
+
+    /**
+     * Checkpoint the cache contents (ids + rows + counters) into @p s.
+     * Only legal at a quiesced boundary: no pinned write-backs may be
+     * outstanding.
+     */
+    void save(serde::Serializer &s) const;
+
+    /**
+     * Restore contents saved by save(). Throws serde::SnapshotError
+     * when the snapshot's policy/rowBytes/capacity disagree with this
+     * cache's configuration.
+     */
+    void restore(serde::Deserializer &d);
+
+    /** Drop all rows and pins; counters keep accumulating. */
+    void clear();
+
+  private:
+    struct Row
+    {
+        std::vector<std::uint8_t> data;
+        std::uint64_t freq = 0;    ///< touches (Lfu primary key)
+        std::uint64_t lastUse = 0; ///< recency sequence (Lru / tiebreak)
+        std::uint32_t pinned = 0;  ///< outstanding deferred write-backs
+    };
+
+    /** Eviction-order key: (policy primary, recency, id). */
+    using OrderKey =
+        std::tuple<std::uint64_t, std::uint64_t, oram::BlockId>;
+
+    OrderKey keyOf(oram::BlockId id, const Row &row) const;
+    void touchLocked(oram::BlockId id, Row &row);
+    void evictForSpaceLocked();
+    void insertLocked(oram::BlockId id, std::vector<std::uint8_t> data,
+                      std::uint64_t freq);
+
+    const CacheConfig cfg;
+    const std::uint64_t bytesPerRow;
+    const std::uint64_t maxRows;
+
+    mutable std::mutex mu;
+    std::unordered_map<oram::BlockId, Row> rows;
+    std::set<OrderKey> order;
+    std::uint64_t useSeq = 0;
+    CacheStats st;
+};
+
+} // namespace laoram::cache
+
+#endif // LAORAM_CACHE_HOT_CACHE_HH

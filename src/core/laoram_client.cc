@@ -12,6 +12,15 @@ Laoram::Laoram(const LaoramConfig &cfg)
 {
     LAORAM_ASSERT(lcfg.superblockSize >= 1,
                   "superblock size must be >= 1");
+    if (lcfg.cache.enabled()) {
+        if (lcfg.base.payloadBytes == 0)
+            LAORAM_FATAL("the hot-row cache caches payload bytes; "
+                         "it cannot be enabled on a metadata-only "
+                         "engine (payloadBytes == 0)");
+        cache_ = std::make_unique<cache::HotEmbeddingCache>(
+            lcfg.cache, lcfg.base.payloadBytes);
+    }
+    // Last: restore may replay a snapshot into the cache just built.
     restoreAtConstructionIfConfigured();
 }
 
@@ -39,6 +48,11 @@ Laoram::access(BlockId id, oram::AccessOp op, const std::uint8_t *in,
     posmap_.set(id, next);
     oram::StashEntry &entry = stashEntryFor(id, next);
     applyOp(entry, op, in, len, out);
+    // The single-access path bypasses the scheduled-access protocol;
+    // keep any resident row coherent so a later hit cannot serve a
+    // value this write just superseded.
+    if (cache_)
+        cache_->syncIfResident(id, entry.payload);
 
     writePathMetered(current);
     backgroundEvict();
@@ -152,8 +166,7 @@ Laoram::accessBatch(const SuperblockBin *bins, std::size_t count)
     for (std::size_t i = 0; i < scratchRemapIds.size(); ++i) {
         oram::StashEntry &entry =
             stashEntryFor(scratchRemapIds[i], scratchRemapLeaves[i]);
-        if (touchFn)
-            touchFn(scratchRemapIds[i], entry.payload);
+        touchMember(scratchRemapIds[i], entry.payload);
     }
 
     writePathsBatchedMetered(scratchLeaves);
@@ -206,8 +219,7 @@ Laoram::accessBin(const SuperblockBin &bin)
     for (std::size_t j = 0; j < bin.members.size(); ++j) {
         oram::StashEntry &entry =
             stashEntryFor(bin.members[j], scratchRemapLeaves[j]);
-        if (touchFn)
-            touchFn(bin.members[j], entry.payload);
+        touchMember(bin.members[j], entry.payload);
     }
 
     // Write the fetched path union back (deepest-first greedy; each
@@ -216,6 +228,34 @@ Laoram::accessBin(const SuperblockBin &bin)
 
     backgroundEvict();
     mtr.observeStashSize(stash_.size());
+}
+
+void
+Laoram::touchMember(BlockId id, std::vector<std::uint8_t> &payload)
+{
+    if (!cache_) {
+        if (touchFn)
+            touchFn(id, payload);
+        return;
+    }
+    switch (cache_->beginScheduledAccess(id, payload)) {
+      case cache::AccessOutcome::Flushed:
+        // Admission-time ops were already applied to the row; this
+        // scheduled access is their coalesced write-back (the row was
+        // copied into the stash payload above) and must NOT run
+        // touchFn again.
+        return;
+      case cache::AccessOutcome::HitInPlace:
+        if (touchFn)
+            touchFn(id, payload);
+        cache_->completeScheduledAccess(id, payload);
+        return;
+      case cache::AccessOutcome::Miss:
+        if (touchFn)
+            touchFn(id, payload);
+        cache_->fill(id, payload);
+        return;
+    }
 }
 
 void
@@ -229,6 +269,12 @@ Laoram::saveClientState(serde::Serializer &s) const
     s.u64(nPreprocessed);
     s.u64(nFutureLinked);
     s.u64(nWindowsServed);
+    // Hot-cache contents are trusted client state (which ids are hot
+    // is exactly the access pattern ORAM hides), so they ride in the
+    // client snapshot and restore warm.
+    s.u8(cache_ ? 1 : 0);
+    if (cache_)
+        cache_->save(s);
 }
 
 void
@@ -245,6 +291,18 @@ Laoram::restoreClientState(serde::Deserializer &d)
     nPreprocessed = d.u64();
     nFutureLinked = d.u64();
     nWindowsServed = d.u64();
+    const std::uint8_t hasCache = d.u8();
+    if (hasCache != 0 && !cache_)
+        throw serde::SnapshotError(
+            "snapshot carries a hot-cache section but this engine "
+            "has no cache configured; re-enable the cache (or "
+            "re-checkpoint without one) to restore");
+    if (hasCache != 0) {
+        cache_->restore(d);
+    } else if (cache_) {
+        // Snapshot predates the cache being enabled: start cold.
+        cache_->clear();
+    }
 }
 
 } // namespace laoram::core

@@ -19,7 +19,9 @@
 #define LAORAM_CORE_LAORAM_CLIENT_HH
 
 #include <functional>
+#include <memory>
 
+#include "cache/hot_cache.hh"
 #include "core/preprocessor.hh"
 #include "core/superblock.hh"
 #include "oram/engine.hh"
@@ -54,6 +56,13 @@ struct LaoramConfig
      * growth regime.
      */
     std::uint64_t batchAccesses = 0;
+
+    /**
+     * Optional trusted-client hot-row cache (src/cache/). Purely a
+     * payload-side accelerator: the access schedule, RNG streams and
+     * server-visible trace are byte-identical with it on or off.
+     */
+    cache::CacheConfig cache{};
 };
 
 /** Look-ahead ORAM engine. */
@@ -130,6 +139,13 @@ class Laoram final : public oram::TreeOramBase
     /** Install a payload hook (used by the training examples). */
     void setTouchCallback(TouchFn fn) { touchFn = std::move(fn); }
 
+    /** The attached hot-row cache, or nullptr when disabled. */
+    cache::HotEmbeddingCache *hotCache() { return cache_.get(); }
+    const cache::HotEmbeddingCache *hotCache() const
+    {
+        return cache_.get();
+    }
+
     const LaoramConfig &laoramConfig() const { return lcfg; }
 
     /** Aggregate preprocessing statistics over runTrace() calls. */
@@ -151,8 +167,17 @@ class Laoram final : public oram::TreeOramBase
     void restoreClientState(serde::Deserializer &d) override;
 
   private:
+    /**
+     * Serve the scheduled access of one bin/batch member: run the
+     * cache protocol around touchFn so hot rows are authoritative in
+     * client DRAM while the stash payload still carries the same
+     * final bytes as a cache-off run.
+     */
+    void touchMember(BlockId id, std::vector<std::uint8_t> &payload);
+
     LaoramConfig lcfg;
     TouchFn touchFn;
+    std::unique_ptr<cache::HotEmbeddingCache> cache_;
 
     std::uint64_t nBins = 0;
     std::uint64_t nPreprocessed = 0;

@@ -106,11 +106,16 @@ BatchPipeline::BatchPipeline(Laoram &engine, const PipelineConfig &cfg)
 PipelineReport
 BatchPipeline::run(ServeSource &source)
 {
+    cache::CacheStats cacheStart;
+    if (const cache::HotEmbeddingCache *c = engine.hotCache())
+        cacheStart = c->stats();
     PipelineReport rep = cfg.mode == PipelineMode::Concurrent
                              ? runConcurrent(source)
                              : runSimulated(source);
     if (StreamingHistogram *hist = source.latencyHistogram())
         rep.latency = hist->report();
+    if (const cache::HotEmbeddingCache *c = engine.hotCache())
+        rep.cache = c->stats().deltaFrom(cacheStart);
     return rep;
 }
 

@@ -278,6 +278,15 @@ struct PipelineReport
      * requests to time.
      */
     LatencyReport latency;
+
+    // ---- Hot-cache tier (zero when no cache is attached). ----
+    /**
+     * Hot-embedding-cache counter deltas over this run plus the
+     * end-of-run occupancy levels. hits+misses equals the scheduled
+     * member touches; the server-visible trace is unaffected either
+     * way (dummy-access invariant).
+     */
+    cache::CacheStats cache;
 };
 
 /**

@@ -308,6 +308,13 @@ ShardedLaoram::shardEngineConfigFor(std::uint32_t shard) const
         shardSeed(cfg.engine.base.seed, shard));
     // One source of truth for window boundaries: the pipeline window.
     sc.lookaheadWindow = cfg.pipeline.windowAccesses;
+    // The operator-facing cache budget is for the whole fleet; each
+    // shard engine owns an equal slice (at least one row's worth so
+    // an enabled cache never silently degrades to disabled).
+    if (cfg.engine.cache.enabled())
+        sc.cache.capacityBytes = std::max<std::uint64_t>(
+            cfg.engine.cache.capacityBytes / cfg.numShards,
+            cfg.engine.base.payloadBytes);
     return sc;
 }
 
@@ -491,6 +498,7 @@ ShardedLaoram::aggregateShardReports(ShardedPipelineReport &rep,
             std::max(rep.aggregate.wallReorderStallNs,
                      sr.pipeline.wallReorderStallNs);
         rep.aggregate.wallIoNs += sr.pipeline.wallIoNs;
+        rep.aggregate.cache.accumulate(sr.pipeline.cache);
         rep.traffic += sr.traffic;
         rep.simNs = std::max(rep.simNs, sr.simNs);
         rep.simTotalNs += sr.simNs;

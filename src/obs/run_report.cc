@@ -3,6 +3,7 @@
 #include <fstream>
 #include <functional>
 
+#include "cache/hot_cache.hh"
 #include "core/pipeline.hh"
 #include "core/sharded_laoram.hh"
 #include "mem/traffic_meter.hh"
@@ -23,6 +24,23 @@ writeLatencyReport(util::JsonWriter &w, const LatencyReport &rep)
     w.field("p99_ns", rep.p99Ns);
     w.field("p999_ns", rep.p999Ns);
     w.field("max_ns", rep.maxNs);
+    w.field("dropped_negative", rep.droppedNegative);
+    w.endObject();
+}
+
+void
+writeCacheStats(util::JsonWriter &w, const cache::CacheStats &c)
+{
+    w.beginObject();
+    w.field("hits", c.hits);
+    w.field("misses", c.misses);
+    w.field("hit_rate", c.hitRate());
+    w.field("evictions", c.evictions);
+    w.field("writeback_coalesced", c.writebackCoalesced);
+    w.field("admission_hits", c.admissionHits);
+    w.field("resident_rows", c.residentRows);
+    w.field("resident_bytes", c.residentBytes);
+    w.field("capacity_rows", c.capacityRows);
     w.endObject();
 }
 
@@ -81,6 +99,8 @@ writePipelineReport(util::JsonWriter &w, const core::PipelineReport &rep)
             rep.measuredPrepHiddenFraction);
     w.key("latency");
     writeLatencyReport(w, rep.latency);
+    w.key("cache");
+    writeCacheStats(w, rep.cache);
     w.endObject();
 }
 

@@ -27,6 +27,10 @@ struct PipelineReport;
 struct ShardedPipelineReport;
 } // namespace core
 
+namespace cache {
+struct CacheStats;
+} // namespace cache
+
 namespace mem {
 struct TrafficCounters;
 } // namespace mem
@@ -47,6 +51,9 @@ void writeLatencyReport(util::JsonWriter &w, const LatencyReport &rep);
 /** Emit @p c as a JSON object on @p w. */
 void writeTrafficCounters(util::JsonWriter &w,
                           const mem::TrafficCounters &c);
+
+/** Emit hot-cache counters (+ hit_rate) as a JSON object on @p w. */
+void writeCacheStats(util::JsonWriter &w, const cache::CacheStats &c);
 
 /**
  * Write a kind="pipeline" run report to @p path; @p traffic (the

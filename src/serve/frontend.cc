@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "cache/hot_cache.hh"
 #include "obs/metrics.hh"
 #include "util/bounded_queue.hh"
 #include "util/logging.hh"
@@ -101,8 +102,10 @@ struct PendingOp
 class ServeFrontend::ShardLane final : public core::ServeSource
 {
   public:
-    ShardLane(std::uint64_t windowAccesses, std::size_t admissionOps)
-        : windowAccesses(windowAccesses), queue(admissionOps)
+    ShardLane(std::uint64_t windowAccesses, std::size_t admissionOps,
+              cache::HotEmbeddingCache *cache)
+        : windowAccesses(windowAccesses), queue(admissionOps),
+          cache(cache)
     {
     }
 
@@ -134,8 +137,63 @@ class ServeFrontend::ShardLane final : public core::ServeSource
             }
             if (obs::metricsEnabled())
                 frontendMetrics().admissionDepth.dec();
-            plan.byId[op.localId].push_back(plan.ops.size());
+            // Hot-cache fast path: when the row is resident and no
+            // earlier *planned* operation on this id is still in
+            // flight (the eligibility gate that preserves per-id
+            // arrival order), apply the operation to the trusted
+            // cache row right here on the assembler thread and
+            // complete its future at DRAM speed. The id is STILL
+            // pushed into out.accesses below — the scheduled ORAM
+            // access happens as a dummy and doubles as the coalesced
+            // write-back for the row — so the server-visible trace is
+            // byte-identical with the cache off.
+            bool fast = false;
+            if (cache != nullptr) {
+                bool blocked;
+                {
+                    // Never hold pendingMu across the cache call:
+                    // the serving thread locks the cache mutex first
+                    // and pendingMu second (onTouch via windowServed),
+                    // so the reverse nesting here would deadlock.
+                    std::lock_guard<std::mutex> plk(pendingMu);
+                    blocked = plannedPending.find(op.localId)
+                              != plannedPending.end();
+                }
+                if (!blocked) {
+                    if (op.type == OpType::Update) {
+                        fast = cache->tryServeAtAdmission(
+                            op.localId,
+                            [&op](std::vector<std::uint8_t> &row) {
+                                const std::size_t n = std::min(
+                                    row.size(), op.payload.size());
+                                std::copy_n(op.payload.begin(), n,
+                                            row.begin());
+                            });
+                    } else {
+                        fast = cache->tryServeAtAdmission(
+                            op.localId,
+                            [&op](std::vector<std::uint8_t> &row) {
+                                op.batch->result.results[op.slot]
+                                    .payload = row;
+                            });
+                    }
+                }
+            }
             out.accesses.push_back(op.localId);
+            if (fast) {
+                {
+                    std::lock_guard<std::mutex> hlk(histMu);
+                    hist.record(elapsedNs(op.submitted,
+                                          WallClock::now()));
+                }
+                op.batch->complete(1);
+                continue;
+            }
+            {
+                std::lock_guard<std::mutex> plk(pendingMu);
+                ++plannedPending[op.localId];
+            }
+            plan.byId[op.localId].push_back(plan.ops.size());
             plan.ops.push_back(std::move(op));
         }
         if (out.accesses.empty())
@@ -188,6 +246,12 @@ class ServeFrontend::ShardLane final : public core::ServeSource
             }
         }
         applied += it->second.size();
+        // Remember the drain; the planned-pending gate is released
+        // only in windowServed, after the engine has written the
+        // touched payload back into the cache row — releasing it here
+        // would let an assembler fast-apply to the row in that gap
+        // and lose its update to the pending write-back.
+        drainedThisWindow.emplace_back(localId, it->second.size());
         current.byId.erase(it);
     }
 
@@ -203,9 +267,28 @@ class ServeFrontend::ShardLane final : public core::ServeSource
                       "window served but only ", applied, " of ",
                       current.ops.size(), " operations were touched");
         const WallClock::time_point now = WallClock::now();
-        for (PendingOp &op : current.ops) {
-            hist.record(elapsedNs(op.submitted, now));
+        {
+            std::lock_guard<std::mutex> hlk(histMu);
+            for (PendingOp &op : current.ops)
+                hist.record(elapsedNs(op.submitted, now));
+        }
+        for (PendingOp &op : current.ops)
             op.batch->complete(1);
+        // The window's write-backs are durable; lift the fast-path
+        // gate for the ids whose planned operations just retired.
+        if (!drainedThisWindow.empty()) {
+            std::lock_guard<std::mutex> plk(pendingMu);
+            for (const auto &[localId, count] : drainedThisWindow) {
+                auto it = plannedPending.find(localId);
+                LAORAM_ASSERT(it != plannedPending.end()
+                                  && it->second >= count,
+                              "planned-pending underflow on block ",
+                              localId);
+                it->second -= count;
+                if (it->second == 0)
+                    plannedPending.erase(it);
+            }
+            drainedThisWindow.clear();
         }
         current = WindowPlan{};
     }
@@ -227,6 +310,9 @@ class ServeFrontend::ShardLane final : public core::ServeSource
     const std::uint64_t windowAccesses;
     BoundedQueue<PendingOp> queue;
 
+    /** The shard engine's hot-row cache; nullptr when disabled. */
+    cache::HotEmbeddingCache *const cache;
+
     std::mutex assembleMu; ///< serialises nextWindow
     std::uint64_t windowsEmitted = 0;
     std::uint64_t accessesEmitted = 0;
@@ -234,9 +320,28 @@ class ServeFrontend::ShardLane final : public core::ServeSource
     std::mutex planMu; ///< assembler threads -> serving thread
     std::unordered_map<std::uint64_t, WindowPlan> plans;
 
+    /**
+     * Fast-path eligibility gate: per-id count of planned (non-fast)
+     * operations coalesced but not yet retired by windowServed. While
+     * non-zero, later operations on the id must also take the planned
+     * path so per-id arrival order survives the coalesce-ahead race
+     * (window w+1 is assembled while window w is still serving).
+     */
+    std::mutex pendingMu;
+    std::unordered_map<BlockId, std::uint64_t> plannedPending;
+
     // Serving-thread-only state (one serving thread per lane).
     WindowPlan current;
     std::size_t applied = 0;
+    std::vector<std::pair<BlockId, std::uint64_t>> drainedThisWindow;
+
+    /**
+     * Guarded by histMu: fast-path completions record from assembler
+     * threads while windowServed records from the serving thread.
+     * End-of-run reads (latency(), latencyHistogram()->report())
+     * happen after the lane's stream drained and threads joined.
+     */
+    std::mutex histMu;
     StreamingHistogram hist;
 };
 
@@ -264,8 +369,8 @@ ServeFrontend::ServeFrontend(core::ShardedLaoram &engine,
         engine.config().pipeline.windowAccesses;
     lanes.reserve(engine.numShards());
     for (std::uint32_t s = 0; s < engine.numShards(); ++s)
-        lanes.push_back(
-            std::make_unique<ShardLane>(window, cfg.admissionOps));
+        lanes.push_back(std::make_unique<ShardLane>(
+            window, cfg.admissionOps, engine.shard(s).hotCache()));
 }
 
 ServeFrontend::~ServeFrontend()

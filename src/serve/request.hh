@@ -6,9 +6,14 @@
  * list of lookup/update operations on global block ids, submitted as
  * one unit and answered by one future. Operations of one batch may
  * land in different shards and different look-ahead windows — the
- * future resolves only after every one of them was served and written
- * back, so a completed lookup always reflects a fully persisted ORAM
- * state.
+ * future resolves only after every one of them was served against
+ * the authoritative trusted-client state. Without a hot-row cache
+ * that means the operation's window was written back to the ORAM
+ * tree; with one (--cache-mb), an operation on a resident row may
+ * complete at admission time, its value living in the trusted cache
+ * until the row's already-scheduled access flushes it (write-back
+ * coalescing). Either way a completed lookup reflects every earlier
+ * same-session operation on that id.
  *
  * Ordering semantics: operations are applied in submission order
  * *per session* (one session's batches form one logical stream), so a

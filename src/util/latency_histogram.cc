@@ -65,8 +65,14 @@ StreamingHistogram::bucketWidth(std::size_t index)
 void
 StreamingHistogram::record(std::int64_t ns)
 {
-    const std::uint64_t v =
-        ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+    if (ns < 0) {
+        // A negative wall-clock delta is a bug in the caller's timing,
+        // not a 0 ns request; keep it out of the percentiles but make
+        // it count somewhere visible.
+        ++nNegative;
+        return;
+    }
+    const std::uint64_t v = static_cast<std::uint64_t>(ns);
     ++counts[bucketIndex(v)];
     if (n == 0) {
         minNs = maxNs = static_cast<std::int64_t>(v);
@@ -83,6 +89,7 @@ StreamingHistogram::merge(const StreamingHistogram &other)
 {
     LAORAM_ASSERT(counts.size() == other.counts.size(),
                   "histogram layouts diverge");
+    nNegative += other.nNegative;
     if (other.n == 0)
         return;
     for (std::size_t i = 0; i < counts.size(); ++i)
@@ -103,6 +110,7 @@ StreamingHistogram::reset()
 {
     std::fill(counts.begin(), counts.end(), 0);
     n = 0;
+    nNegative = 0;
     total = 0.0;
     minNs = 0;
     maxNs = 0;
@@ -158,6 +166,7 @@ StreamingHistogram::report() const
     rep.p99Ns = quantile(0.99);
     rep.p999Ns = quantile(0.999);
     rep.maxNs = static_cast<double>(maximum());
+    rep.droppedNegative = nNegative;
     return rep;
 }
 

@@ -40,6 +40,15 @@ struct LatencyReport
     double p99Ns = 0.0;
     double p999Ns = 0.0; ///< tail the paper's SLO story cares about
     double maxNs = 0.0;  ///< exact observed maximum
+
+    /**
+     * Negative-duration samples dropped by record(). Always zero on a
+     * healthy run; non-zero means some timing path produced a
+     * negative delta (clock misuse, timestamp reordering) and the
+     * percentiles above exclude those samples instead of silently
+     * counting them as 0 ns.
+     */
+    std::uint64_t droppedNegative = 0;
 };
 
 /** Log-linear streaming histogram over non-negative nanoseconds. */
@@ -52,7 +61,12 @@ class StreamingHistogram
 
     StreamingHistogram();
 
-    /** Record one sample (negative values clamp to zero). */
+    /**
+     * Record one sample. Negative durations are never legal
+     * latencies; they are excluded from every statistic and counted
+     * in droppedNegative() so the corruption is visible instead of
+     * quietly deflating p50 via bucket 0.
+     */
     void record(std::int64_t ns);
 
     /** Fold @p other into this histogram (bucket-wise sum). */
@@ -61,6 +75,7 @@ class StreamingHistogram
     void reset();
 
     std::uint64_t count() const { return n; }
+    std::uint64_t droppedNegative() const { return nNegative; }
     double sum() const { return total; }
     double mean() const;
 
@@ -85,6 +100,7 @@ class StreamingHistogram
 
     std::vector<std::uint64_t> counts;
     std::uint64_t n = 0;
+    std::uint64_t nNegative = 0;
     double total = 0.0;
     std::int64_t minNs = 0;
     std::int64_t maxNs = 0;

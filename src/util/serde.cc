@@ -1,8 +1,13 @@
 #include "util/serde.hh"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <mutex>
+
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 namespace laoram::serde {
 
@@ -82,31 +87,136 @@ unseal(SnapshotKind kind, const std::vector<std::uint8_t> &frame)
     return payload;
 }
 
+namespace {
+
+std::mutex faultHookMu;
+WriteFaultHook faultHook = nullptr;
+
+/** Run the test fault hook (if any) after step @p point. */
+bool
+stepOk(const char *point)
+{
+    WriteFaultHook hook;
+    {
+        std::lock_guard<std::mutex> lock(faultHookMu);
+        hook = faultHook;
+    }
+    return hook == nullptr || hook(point);
+}
+
+/** Directory part of @p path ("." when the path has no slash). */
+std::string
+parentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+} // namespace
+
+void
+setWriteFileAtomicFaultHook(WriteFaultHook hook)
+{
+    std::lock_guard<std::mutex> lock(faultHookMu);
+    faultHook = hook;
+}
+
 void
 writeFileAtomic(const std::string &path,
                 const std::vector<std::uint8_t> &data)
 {
-    const std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (f == nullptr)
+    // Unique temp name per writer: two processes (or two threads
+    // racing in a test) checkpointing the same base path must never
+    // scribble on each other's half-written temp file. O_EXCL turns
+    // any residual collision into a loud error instead of a silent
+    // interleave.
+    static std::atomic<std::uint64_t> tmpSeq{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(tmpSeq.fetch_add(1, std::memory_order_relaxed));
+
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0 || !stepOk("open")) {
+        const int err = fd < 0 ? errno : EIO;
+        if (fd >= 0) {
+            ::close(fd);
+            ::unlink(tmp.c_str());
+        }
         throw SnapshotError("cannot create snapshot file " + tmp +
-                            ": " + std::strerror(errno));
-    if (!data.empty()
-        && std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
-        std::fclose(f);
-        std::remove(tmp.c_str());
-        throw SnapshotError("short write to snapshot file " + tmp);
+                            ": " + std::strerror(err));
     }
-    if (std::fflush(f) != 0 || std::fclose(f) != 0) {
-        std::remove(tmp.c_str());
-        throw SnapshotError("cannot flush snapshot file " + tmp + ": " +
-                            std::strerror(errno));
+
+    const std::uint8_t *p = data.data();
+    std::size_t left = data.size();
+    bool writeOk = true;
+    while (left > 0) {
+        const ::ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            writeOk = false;
+            break;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
+    if (!writeOk || !stepOk("write")) {
+        const int err = writeOk ? EIO : errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw SnapshotError("short write to snapshot file " + tmp +
+                            ": " + std::strerror(err));
+    }
+
+    // Durability step 1: the temp file's *contents* must be on disk
+    // before the rename publishes it, or a crash after rename can
+    // surface a zero-length/truncated snapshot at the final path.
+    const bool fileSynced = ::fsync(fd) == 0;
+    if (!fileSynced || !stepOk("fsync-file")) {
+        const int err = fileSynced ? EIO : errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw SnapshotError("cannot fsync snapshot file " + tmp + ": " +
+                            std::strerror(err));
+    }
+    if (::close(fd) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        throw SnapshotError("cannot close snapshot file " + tmp + ": " +
+                            std::strerror(err));
+    }
+
+    const bool renamed = ::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!renamed || !stepOk("rename")) {
+        const int err = renamed ? EIO : errno;
+        ::unlink(tmp.c_str());
         throw SnapshotError("cannot move snapshot into place at " +
-                            path + ": " + std::strerror(errno));
+                            path + ": " + std::strerror(err));
     }
+
+    // Durability step 2: the rename itself lives in the parent
+    // directory's data; fsync it so the publish survives power loss.
+    // The new file is already complete at this point, so a failure
+    // here must NOT unlink anything — it only reports that
+    // durability of the rename is not yet guaranteed.
+    const std::string dir = parentDir(path);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0)
+        throw SnapshotError("cannot open snapshot directory " + dir +
+                            " for fsync: " + std::strerror(errno));
+    const bool dirSynced = ::fsync(dfd) == 0;
+    if (!dirSynced || !stepOk("fsync-dir")) {
+        const int err = dirSynced ? EIO : errno;
+        ::close(dfd);
+        throw SnapshotError("cannot fsync snapshot directory " + dir +
+                            ": " + std::strerror(err));
+    }
+    ::close(dfd);
 }
 
 std::vector<std::uint8_t>

@@ -214,9 +214,36 @@ std::vector<std::uint8_t> seal(SnapshotKind kind,
 std::vector<std::uint8_t> unseal(SnapshotKind kind,
                                  const std::vector<std::uint8_t> &frame);
 
-/** Write @p data to @p path via a temp file + rename (atomic). */
+/**
+ * Write @p data to @p path with crash-safe atomic-replace semantics:
+ * the bytes go to a unique temp file in the same directory (O_EXCL,
+ * pid- and sequence-suffixed, so concurrent writers against one base
+ * path never collide), the temp file is fsync'd *before* rename(2)
+ * moves it into place, and the parent directory is fsync'd *after*
+ * so the rename itself is durable. A crash or power loss at any
+ * point leaves the final path holding either the complete previous
+ * contents or the complete new contents — never a truncated or
+ * zero-length file. Failures before the rename unlink the temp file
+ * and throw SnapshotError; a directory-fsync failure after the rename
+ * also throws (durability of the replace is not yet guaranteed) but
+ * leaves the already-complete new file in place.
+ */
 void writeFileAtomic(const std::string &path,
                      const std::vector<std::uint8_t> &data);
+
+/**
+ * Test-only fault injection for writeFileAtomic. The hook is invoked
+ * after each named step — "open", "write", "fsync-file", "rename",
+ * "fsync-dir" — and returning false makes that step fail exactly as
+ * if the underlying syscall had (temp unlinked, SnapshotError
+ * thrown). A hook may also never return (fork-based crash tests
+ * _exit() inside it to simulate the process dying at that point).
+ * Pass nullptr to clear. Not for production use; the hook is read
+ * under a mutex, so setting it concurrently with writers is safe but
+ * slow.
+ */
+using WriteFaultHook = bool (*)(const char *point);
+void setWriteFileAtomicFaultHook(WriteFaultHook hook);
 
 /** Read the whole file; throws SnapshotError if unreadable. */
 std::vector<std::uint8_t> readFile(const std::string &path);

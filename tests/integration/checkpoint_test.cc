@@ -269,6 +269,126 @@ TEST_F(CheckpointRejection, WrongSectionKindIsRefused)
     EXPECT_THROW(victim.restoreFrom(manifest), serde::SnapshotError);
 }
 
+class CheckpointHotCache : public ::testing::Test
+{
+  protected:
+    LaoramConfig
+    cachedConfig(std::uint64_t cacheRows = 16)
+    {
+        LaoramConfig cfg;
+        cfg.base.numBlocks = 64;
+        cfg.base.blockBytes = 64;
+        cfg.base.payloadBytes = 16;
+        cfg.base.seed = 21;
+        cfg.superblockSize = 4;
+        cfg.lookaheadWindow = 16;
+        cfg.cache.capacityBytes = cacheRows * cfg.base.payloadBytes;
+        return cfg;
+    }
+
+    /** Hot-set trace so the cache holds rows and has hit. */
+    std::vector<oram::BlockId>
+    hotTrace(std::uint64_t accesses, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        std::vector<oram::BlockId> trace;
+        trace.reserve(accesses);
+        for (std::uint64_t i = 0; i < accesses; ++i)
+            trace.push_back(rng.nextBounded(8));
+        return trace;
+    }
+};
+
+TEST_F(CheckpointHotCache, WarmCacheSurvivesCheckpointRestore)
+{
+    const LaoramConfig cfg = cachedConfig();
+    Laoram original(cfg);
+    original.setTouchCallback(
+        [](oram::BlockId id, std::vector<std::uint8_t> &payload) {
+            payload[0] = static_cast<std::uint8_t>(payload[0] + id + 1);
+        });
+    original.runTrace(hotTrace(120, diffSeed() + 7));
+    original.setTouchCallback(nullptr);
+    const cache::CacheStats before = original.hotCache()->stats();
+    ASSERT_GT(before.hits, 0u);
+    ASSERT_GT(before.residentRows, 0u);
+
+    Laoram restored(cfg);
+    restored.restoreFrom(original.checkpoint());
+
+    // Counters and residency came back wholesale...
+    const cache::CacheStats after = restored.hotCache()->stats();
+    EXPECT_EQ(before.hits, after.hits);
+    EXPECT_EQ(before.misses, after.misses);
+    EXPECT_EQ(before.evictions, after.evictions);
+    EXPECT_EQ(before.residentRows, after.residentRows);
+    EXPECT_EQ(before.residentBytes, after.residentBytes);
+
+    // ...and the restored cache is *warm*: continuing both engines
+    // over the same stream keeps them byte-identical, including the
+    // hit counters (restored rows serve hits, not misses).
+    const auto more = hotTrace(60, diffSeed() + 8);
+    original.runTrace(more);
+    restored.runTrace(more);
+    expectMatchesSnapshot(snapshotOf(original), restored,
+                          "continued after restore");
+    EXPECT_EQ(original.hotCache()->stats().hits,
+              restored.hotCache()->stats().hits);
+}
+
+TEST_F(CheckpointHotCache, CacheConfigMismatchOnRestoreIsRefused)
+{
+    const LaoramConfig cfg = cachedConfig();
+    Laoram engine(cfg);
+    engine.runTrace(hotTrace(60, diffSeed() + 9));
+    const std::vector<std::uint8_t> blob = engine.checkpoint();
+
+    {
+        // Snapshot carries a cache section; an engine without a cache
+        // cannot silently drop the warm rows it promises.
+        LaoramConfig other = cfg;
+        other.cache = {};
+        Laoram victim(other);
+        EXPECT_THROW(victim.restoreFrom(blob), serde::SnapshotError);
+    }
+    {
+        LaoramConfig other = cfg;
+        other.cache.capacityBytes *= 2; // wrong capacity
+        Laoram victim(other);
+        EXPECT_THROW(victim.restoreFrom(blob), serde::SnapshotError);
+    }
+    {
+        LaoramConfig other = cfg;
+        other.cache.policy = cache::CachePolicy::Lfu; // wrong policy
+        Laoram victim(other);
+        EXPECT_THROW(victim.restoreFrom(blob), serde::SnapshotError);
+    }
+}
+
+TEST_F(CheckpointHotCache, CachelessSnapshotRestoresColdIntoCachedEngine)
+{
+    // Enabling the cache on an engine restored from a pre-cache
+    // snapshot is legal (an upgrade, not a mismatch): it simply
+    // starts cold.
+    LaoramConfig plain = cachedConfig();
+    plain.cache = {};
+    Laoram old(plain);
+    old.runTrace(hotTrace(60, diffSeed() + 10));
+    const std::vector<std::uint8_t> blob = old.checkpoint();
+
+    Laoram upgraded(cachedConfig());
+    // Pre-warm the cache directly (running a trace would advance the
+    // engine past the snapshot): restore must still drop these rows.
+    upgraded.hotCache()->fill(3, std::vector<std::uint8_t>(16, 0xEE));
+    ASSERT_GT(upgraded.hotCache()->stats().residentRows, 0u);
+    upgraded.restoreFrom(blob);
+    EXPECT_EQ(upgraded.hotCache()->stats().residentRows, 0u)
+        << "stale pre-restore rows must not survive the restore";
+
+    // And it serves correctly from cold.
+    upgraded.runTrace(hotTrace(30, diffSeed() + 12));
+}
+
 TEST(CheckpointFreshness, ReopenedTreeWithoutRestoreIsFatal)
 {
     const std::string tree = tempPath("freshness.tree");

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Serving frontend with the trusted-client hot cache enabled: the
+ * admission fast path must preserve read-your-writes within a
+ * session, keep the latency report complete, and stay correct under
+ * concurrent sessions hammering a shared hot set (the cache mutex,
+ * the plannedPending gate and the pin lifecycle are the TSan targets
+ * here — this suite runs under the sanitizer jobs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "serve/frontend.hh"
+
+namespace laoram::serve {
+namespace {
+
+constexpr std::uint64_t kBlocks = 1 << 9;
+constexpr std::uint64_t kPayload = 16;
+
+core::ShardedLaoramConfig
+cachedConfig(std::uint32_t numShards, std::uint64_t windowAccesses,
+             std::uint64_t cacheRows)
+{
+    core::ShardedLaoramConfig cfg;
+    cfg.engine.base.numBlocks = kBlocks;
+    cfg.engine.base.payloadBytes = kPayload;
+    cfg.engine.base.seed = 77;
+    cfg.engine.superblockSize = 4;
+    cfg.engine.cache.capacityBytes = cacheRows * kPayload;
+    cfg.numShards = numShards;
+    cfg.pipeline.windowAccesses = windowAccesses;
+    cfg.pipeline.mode = core::PipelineMode::Concurrent;
+    return cfg;
+}
+
+std::vector<std::uint8_t>
+bytesFor(std::uint8_t tag)
+{
+    std::vector<std::uint8_t> b(kPayload);
+    std::iota(b.begin(), b.end(), tag);
+    return b;
+}
+
+TEST(ServeFrontendCache, ReadYourWritesAcrossCachedBatches)
+{
+    core::ShardedLaoram engine(cachedConfig(2, 8, 64));
+    ServeFrontend frontend(engine);
+    Session session = frontend.session();
+    frontend.start();
+
+    // Warm the cache: first round of updates misses and fills.
+    Batch warm;
+    for (BlockId id = 0; id < 8; ++id)
+        warm.ops.push_back(
+            Op::update(id, bytesFor(static_cast<std::uint8_t>(id))));
+    std::future<BatchResult> wfut = session.submit(std::move(warm));
+    frontend.flush();
+    wfut.get();
+
+    // Second round hits resident rows: updates may complete at
+    // admission, and the immediately following lookups must still
+    // observe them (same session, later batch).
+    Batch upd;
+    for (BlockId id = 0; id < 8; ++id)
+        upd.ops.push_back(Op::update(
+            id, bytesFor(static_cast<std::uint8_t>(id + 100))));
+    std::future<BatchResult> ufut = session.submit(std::move(upd));
+    frontend.flush();
+    ufut.get();
+
+    Batch look;
+    for (BlockId id = 0; id < 8; ++id)
+        look.ops.push_back(Op::lookup(id));
+    std::future<BatchResult> lfut = session.submit(std::move(look));
+    frontend.flush();
+    const BatchResult res = lfut.get();
+    for (BlockId id = 0; id < 8; ++id)
+        EXPECT_EQ(res.results[id].payload,
+                  bytesFor(static_cast<std::uint8_t>(id + 100)))
+            << "block " << id;
+    frontend.stop();
+
+    // The admitted updates are durable engine state too: offline
+    // reads (which bypass the frontend) see the same bytes.
+    for (BlockId id = 0; id < 8; ++id) {
+        std::vector<std::uint8_t> out;
+        engine.shard(engine.splitter().shardOf(id))
+            .readBlock(engine.splitter().localId(id), out);
+        EXPECT_EQ(out, bytesFor(static_cast<std::uint8_t>(id + 100)))
+            << "block " << id;
+    }
+}
+
+TEST(ServeFrontendCache, UpdateThenLookupInOneBatchOnWarmRow)
+{
+    core::ShardedLaoram engine(cachedConfig(2, 8, 64));
+    ServeFrontend frontend(engine);
+    Session session = frontend.session();
+    frontend.start();
+
+    Batch warm;
+    warm.ops.push_back(Op::update(7, bytesFor(1)));
+    std::future<BatchResult> wfut = session.submit(std::move(warm));
+    frontend.flush();
+    wfut.get();
+
+    // Update + lookup of the same (now resident) id in one batch: the
+    // lookup must observe the in-batch update whether either op took
+    // the fast path or the planned path.
+    Batch batch;
+    batch.ops.push_back(Op::update(7, bytesFor(42)));
+    batch.ops.push_back(Op::lookup(7));
+    std::future<BatchResult> fut = session.submit(std::move(batch));
+    frontend.flush();
+    const BatchResult res = fut.get();
+    EXPECT_EQ(res.results[1].payload, bytesFor(42));
+    frontend.stop();
+}
+
+TEST(ServeFrontendCache, ConcurrentSessionsOnSharedHotSet)
+{
+    constexpr int kSessions = 4;
+    constexpr int kBatches = 12;
+    constexpr int kOpsPerBatch = 16;
+    // Hot set much smaller than the cache: nearly all traffic is
+    // resident after warmup, so fast path, pinning and flushes race
+    // against planned ops from other sessions continuously.
+    constexpr std::uint64_t kHotSet = 32;
+
+    core::ShardedLaoram engine(cachedConfig(2, 32, 128));
+    ServeFrontend frontend(engine);
+    frontend.start();
+
+    std::atomic<bool> running{true};
+    std::thread flusher([&] {
+        while (running.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(100));
+            frontend.flush();
+        }
+    });
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kSessions; ++c) {
+        clients.emplace_back([&, c] {
+            Session session = frontend.session();
+            for (int b = 0; b < kBatches; ++b) {
+                Batch batch;
+                for (int i = 0; i < kOpsPerBatch; ++i) {
+                    const BlockId id =
+                        (c * 131 + b * 17 + i * 7) % kHotSet;
+                    if (i % 2 == 0)
+                        batch.ops.push_back(Op::update(
+                            id,
+                            bytesFor(static_cast<std::uint8_t>(c))));
+                    else
+                        batch.ops.push_back(Op::lookup(id));
+                }
+                // Closed loop: every batch awaited, so read-your-
+                // writes is continuously exercised on hot rows.
+                const BatchResult res =
+                    session.submit(std::move(batch)).get();
+                ASSERT_EQ(res.results.size(),
+                          static_cast<std::size_t>(kOpsPerBatch));
+                for (int i = 1; i < kOpsPerBatch; i += 2) {
+                    // Rows are written whole under the cache/stash
+                    // protocol, so every lookup sees either the
+                    // pristine zero row or *some* session's complete
+                    // tag row — never interleaved bytes (sessions
+                    // race on the hot set, so which tag is open).
+                    const auto &p = res.results[i].payload;
+                    ASSERT_EQ(p.size(), kPayload);
+                    const bool pristine =
+                        p == std::vector<std::uint8_t>(kPayload, 0);
+                    EXPECT_TRUE(pristine || p == bytesFor(p[0]))
+                        << "torn row at batch " << b << " op " << i;
+                }
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    running.store(false, std::memory_order_relaxed);
+    flusher.join();
+
+    const core::ShardedPipelineReport rep = frontend.stop();
+    constexpr std::uint64_t kTotalOps =
+        std::uint64_t{kSessions} * kBatches * kOpsPerBatch;
+    EXPECT_EQ(rep.aggregate.latency.requests, kTotalOps);
+    EXPECT_EQ(rep.aggregate.latency.droppedNegative, 0u);
+
+    // The hot set is cache-sized, so the run must actually have hit,
+    // and every deferred admission-time op must have flushed.
+    const cache::CacheStats cs = rep.aggregate.cache;
+    EXPECT_GT(cs.hits, 0u);
+    EXPECT_EQ(cs.admissionHits, cs.writebackCoalesced);
+}
+
+TEST(ServeFrontendCache, StopDrainsAllPinnedWritebacks)
+{
+    core::ShardedLaoram engine(cachedConfig(2, 64, 64));
+    ServeFrontend frontend(engine);
+    Session session = frontend.session();
+    frontend.start();
+
+    // Two rounds on the same ids without manual flushes: round two
+    // rides the fast path while round one may still be in flight;
+    // stop() must drain every deferred write-back before returning.
+    std::vector<std::future<BatchResult>> futures;
+    for (int round = 0; round < 2; ++round) {
+        Batch batch;
+        for (BlockId id = 0; id < 16; ++id)
+            batch.ops.push_back(Op::update(
+                id, bytesFor(static_cast<std::uint8_t>(round))));
+        futures.push_back(session.submit(std::move(batch)));
+    }
+    frontend.stop();
+    for (auto &f : futures)
+        f.get();
+
+    std::uint64_t admissionHits = 0, coalesced = 0;
+    for (std::uint32_t s = 0; s < engine.numShards(); ++s) {
+        const cache::CacheStats st = engine.shard(s).hotCache()->stats();
+        admissionHits += st.admissionHits;
+        coalesced += st.writebackCoalesced;
+    }
+    EXPECT_EQ(admissionHits, coalesced)
+        << "stop() returned with deferred write-backs still pinned";
+
+    // Post-stop offline reads see round-two values.
+    for (BlockId id = 0; id < 16; ++id) {
+        std::vector<std::uint8_t> out;
+        engine.shard(engine.splitter().shardOf(id))
+            .readBlock(engine.splitter().localId(id), out);
+        EXPECT_EQ(out, bytesFor(1)) << "block " << id;
+    }
+}
+
+} // namespace
+} // namespace laoram::serve

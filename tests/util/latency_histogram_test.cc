@@ -36,13 +36,43 @@ TEST(LatencyHistogram, ExactInLinearTier)
     EXPECT_DOUBLE_EQ(h.quantile(1.0), 15.0);
 }
 
-TEST(LatencyHistogram, NegativeClampsToZero)
+TEST(LatencyHistogram, NegativeSamplesDroppedButCounted)
 {
+    // A negative duration is caller timing corruption; it must not
+    // deflate the percentiles (old behavior folded it into bucket 0)
+    // but it must stay visible in a dedicated counter.
     StreamingHistogram h;
     h.record(-100);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.droppedNegative(), 1u);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+
+    h.record(500);
+    h.record(-1);
     EXPECT_EQ(h.count(), 1u);
-    EXPECT_EQ(h.minimum(), 0);
-    EXPECT_EQ(h.maximum(), 0);
+    EXPECT_EQ(h.droppedNegative(), 2u);
+    EXPECT_EQ(h.minimum(), 500);
+    EXPECT_EQ(h.maximum(), 500);
+    EXPECT_DOUBLE_EQ(h.sum(), 500.0);
+
+    const LatencyReport rep = h.report();
+    EXPECT_EQ(rep.requests, 1u);
+    EXPECT_EQ(rep.droppedNegative, 2u);
+    EXPECT_DOUBLE_EQ(rep.maxNs, 500.0);
+}
+
+TEST(LatencyHistogram, NegativeCounterMergesAndResets)
+{
+    StreamingHistogram a, b;
+    a.record(-7);
+    b.record(-8);
+    b.record(10);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.droppedNegative(), 2u);
+    a.reset();
+    EXPECT_EQ(a.droppedNegative(), 0u);
+    EXPECT_EQ(a.count(), 0u);
 }
 
 TEST(LatencyHistogram, RelativeErrorBounded)
