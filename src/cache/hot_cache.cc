@@ -165,7 +165,17 @@ HotEmbeddingCache::completeScheduledAccess(
     auto it = rows.find(id);
     LAORAM_ASSERT(it != rows.end(),
                   "row vanished between begin/completeScheduledAccess");
-    it->second.data.assign(payload.begin(), payload.end());
+    Row &row = it->second;
+    // A pin acquired since beginScheduledAccess means an assembler
+    // thread served a newer op from this row while the access was in
+    // flight. The fast path is gated off whenever planned ops on the
+    // id are outstanding, so the access can only have been a pure
+    // dummy for this row and any pin here always postdates
+    // @p payload: keep the newer value and let its own scheduled
+    // access flush it (lost-update guard).
+    if (row.pinned > 0)
+        return;
+    row.data.assign(payload.begin(), payload.end());
 }
 
 void
@@ -238,13 +248,12 @@ HotEmbeddingCache::tryServeAtAdmission(
 }
 
 void
-HotEmbeddingCache::syncIfResident(oram::BlockId id,
-                                  const std::vector<std::uint8_t> &payload)
+HotEmbeddingCache::assertNoPinsLocked(const char *op) const
 {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = rows.find(id);
-    if (it != rows.end())
-        it->second.data.assign(payload.begin(), payload.end());
+    for (const auto &[id, row] : rows)
+        LAORAM_ASSERT(row.pinned == 0, op, " would drop ", row.pinned,
+                      " deferred write-back(s) on block ", id,
+                      "; quiesce (drain the frontend) first");
 }
 
 CacheStats
@@ -262,6 +271,7 @@ void
 HotEmbeddingCache::save(serde::Serializer &s) const
 {
     std::lock_guard<std::mutex> lock(mu);
+    assertNoPinsLocked("hot-cache save()");
     s.u8(static_cast<std::uint8_t>(cfg.policy));
     s.u64(bytesPerRow);
     s.u64(cfg.capacityBytes);
@@ -276,9 +286,6 @@ HotEmbeddingCache::save(serde::Serializer &s) const
     for (const OrderKey &key : order) {
         const oram::BlockId id = std::get<2>(key);
         const Row &row = rows.at(id);
-        LAORAM_ASSERT(row.pinned == 0,
-                      "cannot checkpoint a hot cache with deferred "
-                      "write-backs outstanding");
         s.u64(id);
         s.u64(row.freq);
         s.bytes(row.data.data(), row.data.size());
@@ -321,6 +328,7 @@ HotEmbeddingCache::restore(serde::Deserializer &d)
             "hot-cache snapshot holds " + std::to_string(nRows) +
             " rows but the configured capacity is " +
             std::to_string(maxRows) + " rows");
+    assertNoPinsLocked("hot-cache restore()");
     rows.clear();
     order.clear();
     useSeq = 0;
@@ -338,6 +346,9 @@ void
 HotEmbeddingCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu);
+    // Same quiesced-boundary contract as save(): a pinned row is the
+    // only copy of an acknowledged deferred write-back.
+    assertNoPinsLocked("hot-cache clear()");
     rows.clear();
     order.clear();
     useSeq = 0;

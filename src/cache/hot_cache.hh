@@ -22,6 +22,14 @@
  *   case Flushed:    break;  // admission-time ops already folded in;
  *   }                        // this access was their write-back
  *
+ * The single-access path (Laoram::access, i.e. readBlock/writeBlock
+ * and resharding) runs the same protocol so a resident row — which
+ * may carry deferred admission-time updates newer than the stash —
+ * stays authoritative there too. Its operation is new, though, so
+ * after Flushed it still applies the op to the payload (which now
+ * holds the deferred value) and calls completeScheduledAccess; the
+ * access's own path write doubles as the coalesced write-back.
+ *
  * The frontend fast path (tryServeAtAdmission) applies an operation
  * to the cached row at coalesce time — on a prep/assembler thread,
  * completing the client future at DRAM speed — and pins the row until
@@ -135,7 +143,12 @@ class HotEmbeddingCache
     AccessOutcome beginScheduledAccess(oram::BlockId id,
                                        std::vector<std::uint8_t> &payload);
 
-    /** Write the touched @p payload back into the row (HitInPlace). */
+    /**
+     * Write the touched @p payload back into the row (HitInPlace).
+     * No-op when the row acquired a pin since beginScheduledAccess:
+     * the pinned value postdates @p payload and must win, or the
+     * acknowledged fast-path op would be silently lost.
+     */
     void completeScheduledAccess(oram::BlockId id,
                                  const std::vector<std::uint8_t> &payload);
 
@@ -153,14 +166,6 @@ class HotEmbeddingCache
         oram::BlockId id,
         const std::function<void(std::vector<std::uint8_t> &)> &fn);
 
-    /**
-     * Keep a resident row coherent with a payload mutated outside the
-     * scheduled-access protocol (single-access readBlock/writeBlock
-     * path). No-op when @p id is not resident; touches no counters.
-     */
-    void syncIfResident(oram::BlockId id,
-                        const std::vector<std::uint8_t> &payload);
-
     CacheStats stats() const;
     std::uint64_t rowBytes() const { return bytesPerRow; }
     std::uint64_t capacityRows() const { return maxRows; }
@@ -176,11 +181,15 @@ class HotEmbeddingCache
     /**
      * Restore contents saved by save(). Throws serde::SnapshotError
      * when the snapshot's policy/rowBytes/capacity disagree with this
-     * cache's configuration.
+     * cache's configuration. Quiesced-boundary only, like save().
      */
     void restore(serde::Deserializer &d);
 
-    /** Drop all rows and pins; counters keep accumulating. */
+    /**
+     * Drop all rows; counters keep accumulating. Quiesced-boundary
+     * only: panics when a pinned write-back is outstanding (it would
+     * be the only copy of an acknowledged update), matching save().
+     */
     void clear();
 
   private:
@@ -197,6 +206,8 @@ class HotEmbeddingCache
         std::tuple<std::uint64_t, std::uint64_t, oram::BlockId>;
 
     OrderKey keyOf(oram::BlockId id, const Row &row) const;
+    /** Panic if any row is pinned (quiesced-boundary contract). */
+    void assertNoPinsLocked(const char *op) const;
     void touchLocked(oram::BlockId id, Row &row);
     void evictForSpaceLocked();
     void insertLocked(oram::BlockId id, std::vector<std::uint8_t> data,

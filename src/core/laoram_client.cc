@@ -47,12 +47,28 @@ Laoram::access(BlockId id, oram::AccessOp op, const std::uint8_t *in,
     const Leaf next = randomLeaf();
     posmap_.set(id, next);
     oram::StashEntry &entry = stashEntryFor(id, next);
-    applyOp(entry, op, in, len, out);
-    // The single-access path bypasses the scheduled-access protocol;
-    // keep any resident row coherent so a later hit cannot serve a
-    // value this write just superseded.
-    if (cache_)
-        cache_->syncIfResident(id, entry.payload);
+    if (!cache_) {
+        applyOp(entry, op, in, len, out);
+    } else {
+        // The single-access path runs the same protocol as a
+        // scheduled touch so a resident row — which may carry
+        // deferred admission-time updates newer than the stash —
+        // stays the authoritative copy. Unlike a scheduled touch the
+        // caller's op is new, so Flushed still applies it: the
+        // deferred value was folded into the payload and this
+        // access's path write is its coalesced write-back.
+        switch (cache_->beginScheduledAccess(id, entry.payload)) {
+          case cache::AccessOutcome::Flushed:
+          case cache::AccessOutcome::HitInPlace:
+            applyOp(entry, op, in, len, out);
+            cache_->completeScheduledAccess(id, entry.payload);
+            break;
+          case cache::AccessOutcome::Miss:
+            applyOp(entry, op, in, len, out);
+            cache_->fill(id, entry.payload);
+            break;
+        }
+    }
 
     writePathMetered(current);
     backgroundEvict();

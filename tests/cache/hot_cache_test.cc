@@ -157,6 +157,36 @@ TEST(HotCache, AdmissionPinFlushesIntoScheduledAccess)
     EXPECT_EQ(cache.stats().writebackCoalesced, 1u);
 }
 
+TEST(HotCache, PinArrivingMidAccessIsNotClobberedByComplete)
+{
+    HotEmbeddingCache cache(configFor(2), kRow);
+    missAccess(cache, 5, 0x11);
+
+    // The serving thread begins a scheduled access for a window in
+    // which 5 carries no planned ops (a pure dummy touch)...
+    std::vector<std::uint8_t> payload = rowOf(0);
+    ASSERT_EQ(cache.beginScheduledAccess(5, payload),
+              AccessOutcome::HitInPlace);
+    EXPECT_EQ(payload, rowOf(0x11));
+
+    // ...and an assembler thread races in with a fast-path update
+    // before the serving thread completes the access.
+    ASSERT_TRUE(cache.tryServeAtAdmission(
+        5, [](std::vector<std::uint8_t> &row) {
+            row.assign(kRow, 0x22);
+        }));
+
+    // complete must NOT overwrite the newer pinned value with the
+    // stale in-flight payload: the acknowledged update has to survive
+    // until its own scheduled access flushes it.
+    cache.completeScheduledAccess(5, payload);
+    std::vector<std::uint8_t> again = rowOf(0);
+    ASSERT_EQ(cache.beginScheduledAccess(5, again),
+              AccessOutcome::Flushed);
+    EXPECT_EQ(again, rowOf(0x22));
+    EXPECT_EQ(cache.stats().writebackCoalesced, 1u);
+}
+
 TEST(HotCache, PinnedRowsAreNeverEvicted)
 {
     HotEmbeddingCache cache(configFor(2), kRow);
@@ -255,6 +285,17 @@ TEST(HotCache, ClearDropsRowsButKeepsCounters)
     payload = rowOf(0);
     EXPECT_EQ(cache.beginScheduledAccess(1, payload),
               AccessOutcome::Miss);
+}
+
+TEST(HotCacheDeathTest, ClearWithPinnedWritebackPanics)
+{
+    HotEmbeddingCache cache(configFor(2), kRow);
+    missAccess(cache, 1, 1);
+    ASSERT_TRUE(cache.tryServeAtAdmission(
+        1, [](std::vector<std::uint8_t> &row) { row[0] = 0xFF; }));
+    // Dropping the row would discard the acknowledged deferred
+    // write-back it holds — same quiesced-boundary contract as save().
+    EXPECT_DEATH(cache.clear(), "deferred write-back");
 }
 
 TEST(HotCache, PolicyNamesParseAndPrint)

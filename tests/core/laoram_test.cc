@@ -53,6 +53,34 @@ TEST(Laoram, SingleAccessReadYourWrites)
     EXPECT_EQ(out, data);
 }
 
+TEST(Laoram, SingleAccessServesAndFlushesDeferredCacheUpdates)
+{
+    LaoramConfig cfg = laoramConfig(64, 4, false, 16);
+    cfg.cache.capacityBytes = 8 * 16;
+    Laoram oram(cfg);
+
+    // writeBlock admits the row, then a frontend-style fast path
+    // defers an acknowledged update into it (pinning the row).
+    oram.writeBlock(9, std::vector<std::uint8_t>(16, 0xAA));
+    ASSERT_TRUE(oram.hotCache()->tryServeAtAdmission(
+        9, [](std::vector<std::uint8_t> &row) {
+            row.assign(row.size(), 0xBB);
+        }));
+
+    // The single-access read must return the deferred value — not the
+    // stale stash bytes — and double as its coalesced write-back.
+    std::vector<std::uint8_t> out;
+    oram.readBlock(9, out);
+    EXPECT_EQ(out, std::vector<std::uint8_t>(16, 0xBB));
+    EXPECT_EQ(oram.hotCache()->stats().writebackCoalesced, 1u);
+
+    // The pin is released and the update reached the stash/tree:
+    // evict the cache and re-read from ORAM alone.
+    oram.hotCache()->clear();
+    oram.readBlock(9, out);
+    EXPECT_EQ(out, std::vector<std::uint8_t>(16, 0xBB));
+}
+
 TEST(Laoram, RunTraceCountsAllAccesses)
 {
     Laoram oram(laoramConfig(64, 4));
