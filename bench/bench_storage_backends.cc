@@ -3,7 +3,10 @@
  * Storage-backend comparison: the same LAORAM pipeline served from
  * DRAM, a persistent mmap tree (warm and cold page cache), and a
  * remote-KV node over batched/async RPC (unshaped, and shaped to a
- * slow-network regime with --remote-latency-us / --remote-mbps).
+ * slow-network regime with --remote-latency-us / --remote-mbps) —
+ * plus a remote-loopback variant that dials a real TCP listener on
+ * 127.0.0.1, so the RPC cost includes the genuine kernel socket path
+ * instead of an in-process socketpair.
  *
  * For each backend the bench reports wall-clock serving throughput,
  * the *measured* backend I/O stall (ServerStorage IoStats: time spent
@@ -25,11 +28,15 @@
 #include <cstdio>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/harness.hh"
 #include "core/pipeline.hh"
+#include "net/node_server.hh"
+#include "oram/tree_geometry.hh"
+#include "storage/remote_backend.hh"
 #include "storage/slot_backend.hh"
 #include "util/cli.hh"
 
@@ -188,6 +195,33 @@ main(int argc, char **argv)
         shaped.storage.remote.bytesPerSec =
             *remoteMbps * 1000 * 1000;
         variants.push_back(shaped);
+    }
+
+    // Real-loopback node: the same protocol over an accepted TCP
+    // connection (kernel socket path, Nagle off) instead of the
+    // self-hosted socketpair — what a laoram_node deployment pays on
+    // a one-host testbed.
+    const oram::TreeGeometry nodeGeom(
+        nBlocks, payloadBytes > 0 ? payloadBytes : 128,
+        oram::BucketProfile::uniform(4));
+    storage::RemoteKvServer node(
+        storage::makeBackend(storage::StorageConfig{},
+                             nodeGeom.totalSlots(), 16 + payloadBytes,
+                             0),
+        storage::RemoteKvConfig{});
+    std::unique_ptr<net::NodeListener> listener;
+    {
+        net::Endpoint ep;
+        std::string error;
+        if (parseEndpoint("127.0.0.1:0", &ep, &error)) {
+            listener = std::make_unique<net::NodeListener>(node, ep);
+            Variant loopback;
+            loopback.label = "remote-loopback";
+            loopback.storage.kind = storage::BackendKind::Remote;
+            loopback.storage.remote.endpoint =
+                listener->endpoint().str();
+            variants.push_back(loopback);
+        }
     }
 
     bench::BenchJson json("storage_backends");

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * laoram_node — a standalone untrusted storage node.
+ *
+ * Serves one ORAM tree's slot records over the remote-KV wire
+ * protocol on a TCP or UNIX-domain listener, so a trusted client
+ * (any example/bench with --storage=remote --remote-endpoint, or a
+ * ShardedLaoram with per-shard endpoints) runs against a real
+ * out-of-process server — the paper's deployment split.
+ *
+ * The node is geometry-checked, not configured from the client: it
+ * derives slots/recordBytes from the same --blocks/--block-bytes/
+ * --payload knobs the client's engine uses (plus --encrypt for the
+ * persisted-meta capacity), and the Hello handshake rejects a client
+ * whose engine disagrees. It stores *ciphertext-opaque records and
+ * never holds a key* — encryption stays client-side.
+ *
+ * Quickstart (loopback):
+ *
+ *   laoram_node --listen 127.0.0.1:7070 --blocks 4096 --payload 64 &
+ *   oblivious_kv --keys 4096 --storage=remote \
+ *                --remote-endpoint 127.0.0.1:7070
+ *
+ * SIGTERM/SIGINT drain cleanly: stop accepting, let in-flight
+ * responses go out, flush the inner backend (so a persistent node's
+ * acked writes are on media), exit 0.
+ */
+
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "crypto/encryptor.hh"
+#include "net/node_server.hh"
+#include "obs/obs_cli.hh"
+#include "oram/tree_geometry.hh"
+#include "storage/remote_backend.hh"
+#include "storage/storage_cli.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+using namespace laoram;
+
+namespace {
+
+/** Written by the signal handler, drained by main's wait loop. */
+int gStopPipe[2] = {-1, -1};
+
+void
+onStopSignal(int)
+{
+    const char byte = 1;
+    // Best-effort from a signal handler; a full pipe means a stop is
+    // already pending.
+    (void)!::write(gStopPipe[1], &byte, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("laoram_node",
+                   "standalone remote-KV storage node serving one "
+                   "ORAM tree over TCP or a UNIX-domain socket");
+    auto listenTcp = args.addString(
+        "listen", "bind a TCP listener at host:port (port 0 = "
+                  "ephemeral, printed at startup)",
+        "");
+    auto listenUds = args.addString(
+        "listen-uds", "bind a UNIX-domain stream listener at this "
+                      "path (stale socket files are reclaimed)",
+        "");
+    auto blocks = args.addUint(
+        "blocks", "logical blocks of the served tree (must match the "
+                  "client engine's numBlocks)",
+        1024);
+    auto blockBytes = args.addUint(
+        "block-bytes", "logical block size the tree geometry is "
+                       "derived from",
+        128);
+    auto payload = args.addUint(
+        "payload", "physically stored payload bytes per block (the "
+                   "client engine's payloadBytes)",
+        0);
+    auto bucketZ = args.addUint(
+        "bucket-z", "slots per tree bucket (the client engine's "
+                    "uniform bucket profile)",
+        4);
+    auto encrypt = args.addFlag(
+        "encrypt", "size the persisted-meta region for a client that "
+                   "encrypts at rest (the node never sees a key)");
+    auto path = args.addString(
+        "storage-path", "backing file for a persistent (mmap) tree; "
+                        "empty = serve from DRAM",
+        "");
+    auto durability = args.addString(
+        "storage-durability",
+        "mmap flush policy: buffered | async | sync", "buffered");
+    auto keep = args.addFlag(
+        "storage-keep", "reopen an existing compatible tree file "
+                        "instead of re-initialising it");
+    auto latencyUs = args.addUint(
+        "latency-us", "shaped per-RPC service latency in "
+                      "microseconds",
+        0);
+    auto mbps = args.addUint(
+        "mbps", "shaped link bandwidth in MB/s (0 = unlimited)", 0);
+    const auto obsArgs = obs::addObsArgs(args);
+    args.parse(argc, argv);
+
+    const obs::ObsConfig obsCfg = obs::obsConfigFromArgs(obsArgs);
+    obs::ObsSession obsSession(obsCfg);
+
+    if (listenTcp->empty() == listenUds->empty())
+        LAORAM_FATAL("pass exactly one of --listen host:port or "
+                     "--listen-uds path");
+    net::Endpoint ep;
+    std::string error;
+    const std::string spec = listenUds->empty()
+                                 ? *listenTcp
+                                 : "unix:" + *listenUds;
+    if (!net::parseEndpoint(spec, &ep, &error))
+        LAORAM_FATAL(error);
+
+    // The node stores exactly what a client engine with the same
+    // geometry knobs would store: header + payload per record, one
+    // slot per bucket position, plus the persisted-meta region an
+    // encrypting client needs for its epoch table.
+    constexpr std::uint64_t kRecordHeaderBytes = 16; // id + leaf
+    const oram::TreeGeometry geom(
+        *blocks, *blockBytes, oram::BucketProfile::uniform(*bucketZ));
+    const std::uint64_t slots = geom.totalSlots();
+    const std::uint64_t recordBytes = kRecordHeaderBytes + *payload;
+    const std::uint64_t metaBytes =
+        *encrypt ? slots * sizeof(std::uint32_t)
+                       + crypto::kKeyCheckBytes
+                 : 0;
+
+    storage::StorageConfig scfg;
+    scfg.kind = path->empty() ? storage::BackendKind::Dram
+                              : storage::BackendKind::MmapFile;
+    scfg.path = *path;
+    scfg.keepExisting = *keep;
+    if (*durability == "buffered")
+        scfg.durability = storage::Durability::Buffered;
+    else if (*durability == "async")
+        scfg.durability = storage::Durability::Async;
+    else if (*durability == "sync")
+        scfg.durability = storage::Durability::Sync;
+    else
+        LAORAM_FATAL("unknown --storage-durability '", *durability,
+                     "' (expected buffered, async or sync)");
+    if (*keep && path->empty())
+        LAORAM_FATAL("--storage-keep requires --storage-path (a DRAM "
+                     "node has nothing to keep)");
+
+    storage::RemoteKvConfig shaping;
+    shaping.latencyNs = static_cast<std::int64_t>(*latencyUs) * 1000;
+    shaping.bytesPerSec = *mbps * 1000 * 1000;
+
+    storage::RemoteKvServer server(
+        storage::makeBackend(scfg, slots, recordBytes, metaBytes),
+        shaping);
+
+    if (::pipe(gStopPipe) != 0)
+        LAORAM_FATAL("cannot create the shutdown pipe");
+    std::signal(SIGTERM, onStopSignal);
+    std::signal(SIGINT, onStopSignal);
+
+    try {
+        net::NodeListener listener(server, ep);
+        std::cout << "laoram_node serving " << slots << " slots x "
+                  << recordBytes << " B ("
+                  << (scfg.path.empty() ? "dram"
+                                        : "mmap:" + scfg.path)
+                  << (server.inner().openedExisting() ? ", reopened"
+                                                      : "")
+                  << ") on " << listener.endpoint().str()
+                  << std::endl;
+
+        // Park until SIGTERM/SIGINT; connections are served by the
+        // listener's accept thread + per-connection service threads.
+        char byte = 0;
+        while (::read(gStopPipe[0], &byte, 1) < 0 && errno == EINTR) {
+        }
+
+        inform("laoram_node draining: no new connections, in-flight "
+               "responses completing, backend flushing");
+        listener.stop();
+    } catch (const std::runtime_error &e) {
+        LAORAM_FATAL(e.what());
+    }
+    server.drain();
+    inform("laoram_node exited cleanly");
+    return 0;
+}

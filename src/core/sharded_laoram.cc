@@ -174,6 +174,14 @@ ShardedLaoram::ShardedLaoram(const ShardedLaoramConfig &cfg,
                   "splitter covers ", splitter_.numBlocks(),
                   " blocks, config expects ",
                   cfg.engine.base.numBlocks);
+    if (!cfg.shardEndpoints.empty()
+        && cfg.shardEndpoints.size() != cfg.numShards) {
+        LAORAM_FATAL("shardEndpoints lists ",
+                     cfg.shardEndpoints.size(), " node(s) for ",
+                     cfg.numShards,
+                     " shards; every shard tree needs its own "
+                     "laoram_node");
+    }
     // Restore-or-fresh: a configured restore replaces the splitter
     // with the manifest's recorded assignment *before* the engines
     // are built, so per-shard geometry derives from the restored
@@ -315,6 +323,14 @@ ShardedLaoram::shardEngineConfigFor(std::uint32_t shard) const
         sc.cache.capacityBytes = std::max<std::uint64_t>(
             cfg.engine.cache.capacityBytes / cfg.numShards,
             cfg.engine.base.payloadBytes);
+    // Multi-node serving: each shard's tree lives on its own
+    // laoram_node. The endpoint replaces any local path — the node
+    // owns the shard file, the client only dials.
+    if (!cfg.shardEndpoints.empty()) {
+        sc.base.storage.kind = storage::BackendKind::Remote;
+        sc.base.storage.path.clear();
+        sc.base.storage.remote.endpoint = cfg.shardEndpoints[shard];
+    }
     return sc;
 }
 

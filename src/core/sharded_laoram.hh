@@ -171,6 +171,17 @@ struct ShardedLaoramConfig
     /** Per-shard pipeline knobs (window size, queue depth, prep
      *  threads, mode). */
     PipelineConfig pipeline;
+
+    /**
+     * Per-shard laoram_node endpoints ("host:port" / "unix:PATH").
+     * Empty = local/self-hosted storage, the default. When set, the
+     * list must hold exactly numShards entries: shard s's engine
+     * dials shardEndpoints[s] (storage kind forced to Remote), so
+     * one trace is served over N real storage processes. Each node
+     * serves one shard tree — a node accepts any number of client
+     * connections, which is the per-node connection pool.
+     */
+    std::vector<std::string> shardEndpoints;
 };
 
 /** One shard's slice of a sharded run. */

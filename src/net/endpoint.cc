@@ -1,0 +1,286 @@
+#include "net/endpoint.hh"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace laoram::net {
+
+namespace {
+
+void
+setError(std::string *error, std::string message)
+{
+    if (error != nullptr)
+        *error = std::move(message);
+}
+
+constexpr const char *kUdsPrefix = "unix:";
+
+} // namespace
+
+std::string
+Endpoint::str() const
+{
+    switch (kind) {
+      case Kind::Tcp:
+        return host + ":" + std::to_string(port);
+      case Kind::Uds:
+        return std::string(kUdsPrefix) + path;
+      case Kind::None:
+        break;
+    }
+    return "<none>";
+}
+
+bool
+parseEndpoint(const std::string &text, Endpoint *out,
+              std::string *error)
+{
+    if (text.empty()) {
+        setError(error, "empty endpoint (expected host:port or "
+                        "unix:PATH)");
+        return false;
+    }
+    Endpoint ep;
+    if (text.rfind(kUdsPrefix, 0) == 0) {
+        ep.kind = Endpoint::Kind::Uds;
+        ep.path = text.substr(std::strlen(kUdsPrefix));
+        if (ep.path.empty()) {
+            setError(error, "empty unix-socket path in endpoint '"
+                                + text + "'");
+            return false;
+        }
+        // sockaddr_un::sun_path is a fixed ~108-byte field; refuse
+        // anything that would silently truncate.
+        if (ep.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+            setError(error, "unix-socket path too long in endpoint '"
+                                + text + "'");
+            return false;
+        }
+    } else {
+        const std::size_t colon = text.rfind(':');
+        if (colon == std::string::npos || colon == 0
+            || colon + 1 == text.size()) {
+            setError(error, "endpoint '" + text
+                                + "' is not host:port or unix:PATH");
+            return false;
+        }
+        ep.kind = Endpoint::Kind::Tcp;
+        ep.host = text.substr(0, colon);
+        const std::string portText = text.substr(colon + 1);
+        std::uint64_t port = 0;
+        for (const char c : portText) {
+            if (c < '0' || c > '9') {
+                setError(error, "non-numeric port in endpoint '"
+                                    + text + "'");
+                return false;
+            }
+            port = port * 10 + static_cast<std::uint64_t>(c - '0');
+            if (port > 65535) {
+                setError(error,
+                         "port out of range in endpoint '" + text
+                             + "'");
+                return false;
+            }
+        }
+        ep.port = static_cast<std::uint16_t>(port);
+    }
+    if (out != nullptr)
+        *out = std::move(ep);
+    return true;
+}
+
+namespace {
+
+int
+dialTcp(const Endpoint &ep, std::string *error)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const std::string portText = std::to_string(ep.port);
+    const int rc =
+        ::getaddrinfo(ep.host.c_str(), portText.c_str(), &hints, &res);
+    if (rc != 0) {
+        setError(error, "cannot resolve '" + ep.str()
+                            + "': " + ::gai_strerror(rc));
+        return -1;
+    }
+    int fd = -1;
+    int lastErrno = ECONNREFUSED;
+    for (addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            lastErrno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        lastErrno = errno;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+        setError(error, "cannot connect to '" + ep.str()
+                            + "': " + std::strerror(lastErrno));
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+int
+dialUds(const Endpoint &ep, std::string *error)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, std::string("socket(AF_UNIX) failed: ")
+                            + std::strerror(errno));
+        return -1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        setError(error, "cannot connect to '" + ep.str()
+                            + "': " + std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+int
+dialEndpoint(const Endpoint &ep, std::string *error)
+{
+    switch (ep.kind) {
+      case Endpoint::Kind::Tcp:
+        return dialTcp(ep, error);
+      case Endpoint::Kind::Uds:
+        return dialUds(ep, error);
+      case Endpoint::Kind::None:
+        break;
+    }
+    setError(error, "cannot dial an unset endpoint");
+    return -1;
+}
+
+int
+listenEndpoint(const Endpoint &ep, std::string *error)
+{
+    int fd = -1;
+    if (ep.kind == Endpoint::Kind::Tcp) {
+        addrinfo hints{};
+        hints.ai_family = AF_UNSPEC;
+        hints.ai_socktype = SOCK_STREAM;
+        hints.ai_flags = AI_PASSIVE;
+        addrinfo *res = nullptr;
+        const std::string portText = std::to_string(ep.port);
+        const int rc = ::getaddrinfo(
+            ep.host.empty() ? nullptr : ep.host.c_str(),
+            portText.c_str(), &hints, &res);
+        if (rc != 0) {
+            setError(error, "cannot resolve listen address '"
+                                + ep.str()
+                                + "': " + ::gai_strerror(rc));
+            return -1;
+        }
+        int lastErrno = EADDRNOTAVAIL;
+        for (addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+            fd = ::socket(ai->ai_family, ai->ai_socktype,
+                          ai->ai_protocol);
+            if (fd < 0) {
+                lastErrno = errno;
+                continue;
+            }
+            const int one = 1;
+            ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof(one));
+            if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+                break;
+            lastErrno = errno;
+            ::close(fd);
+            fd = -1;
+        }
+        ::freeaddrinfo(res);
+        if (fd < 0) {
+            setError(error, "cannot bind '" + ep.str()
+                                + "': " + std::strerror(lastErrno));
+            return -1;
+        }
+    } else if (ep.kind == Endpoint::Kind::Uds) {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            setError(error, std::string("socket(AF_UNIX) failed: ")
+                                + std::strerror(errno));
+            return -1;
+        }
+        // A SIGKILLed node leaves its socket file behind; the
+        // restarted node owns the path and may reclaim it.
+        ::unlink(ep.path.c_str());
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, ep.path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr))
+            != 0) {
+            setError(error, "cannot bind '" + ep.str()
+                                + "': " + std::strerror(errno));
+            ::close(fd);
+            return -1;
+        }
+    } else {
+        setError(error, "cannot listen on an unset endpoint");
+        return -1;
+    }
+
+    if (::listen(fd, SOMAXCONN) != 0) {
+        setError(error, "listen('" + ep.str()
+                            + "') failed: " + std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+Endpoint
+boundEndpoint(int listenFd, const Endpoint &requested)
+{
+    if (requested.kind != Endpoint::Kind::Tcp || requested.port != 0)
+        return requested;
+    sockaddr_storage addr{};
+    socklen_t len = sizeof(addr);
+    Endpoint ep = requested;
+    if (::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                      &len)
+        == 0) {
+        if (addr.ss_family == AF_INET) {
+            ep.port = ntohs(
+                reinterpret_cast<const sockaddr_in *>(&addr)
+                    ->sin_port);
+        } else if (addr.ss_family == AF_INET6) {
+            ep.port = ntohs(
+                reinterpret_cast<const sockaddr_in6 *>(&addr)
+                    ->sin6_port);
+        }
+    }
+    return ep;
+}
+
+} // namespace laoram::net

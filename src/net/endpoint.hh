@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Stream-socket endpoints for multi-node serving: one small value
+ * type naming where a laoram_node listens (TCP `host:port` or a
+ * UNIX-domain socket `unix:/path`), plus the dial/listen/accept
+ * plumbing every networked piece of the repo shares.
+ *
+ * The spellings accepted by parseEndpoint are the spellings users
+ * type (`--listen`, `--remote-endpoint`) and the spellings tests
+ * print, so there is exactly one grammar:
+ *
+ *   host:port      TCP (host is a name or numeric address; port 0 on
+ *                  a listener binds an ephemeral port — boundEndpoint
+ *                  reports the one the kernel picked)
+ *   unix:PATH      UNIX-domain stream socket at PATH
+ *
+ * All sockets are blocking; dialers set TCP_NODELAY (the RPC protocol
+ * is request/response with small frames, where Nagle only adds
+ * latency). These helpers return errors instead of exiting so callers
+ * choose their own failure policy: a client retries with backoff, a
+ * node binary fatals at startup.
+ */
+
+#ifndef LAORAM_NET_ENDPOINT_HH
+#define LAORAM_NET_ENDPOINT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace laoram::net {
+
+/** A parsed listen/dial target. */
+struct Endpoint
+{
+    enum class Kind
+    {
+        None, ///< default-constructed; never dialable
+        Tcp,  ///< host:port stream socket
+        Uds,  ///< unix:/path stream socket
+    };
+
+    Kind kind = Kind::None;
+    std::string host; ///< Tcp only
+    std::uint16_t port = 0; ///< Tcp only
+    std::string path; ///< Uds only
+
+    bool valid() const { return kind != Kind::None; }
+
+    /** Canonical round-trippable spelling ("host:port" / "unix:p"). */
+    std::string str() const;
+};
+
+/**
+ * Parse "host:port" or "unix:PATH" into @p out. Returns false (with
+ * @p error set when non-null, @p out untouched) on an empty string, a
+ * missing/non-numeric/oversized port, or an empty UDS path.
+ */
+bool parseEndpoint(const std::string &text, Endpoint *out,
+                   std::string *error = nullptr);
+
+/**
+ * Dial @p ep (blocking connect). Returns the connected fd, or -1 with
+ * @p error describing the failure — connection refused is an expected
+ * outcome (node not up yet, node restarting), which is why this does
+ * not fatal.
+ */
+int dialEndpoint(const Endpoint &ep, std::string *error = nullptr);
+
+/**
+ * Bind + listen on @p ep. A UDS path is unlinked first (a restarted
+ * node must be able to rebind its own stale socket file); a TCP
+ * listener sets SO_REUSEADDR for the same reason. Returns the
+ * listening fd, or -1 with @p error set.
+ */
+int listenEndpoint(const Endpoint &ep, std::string *error = nullptr);
+
+/**
+ * The endpoint a listener fd is actually bound to — resolves port 0
+ * to the kernel-assigned ephemeral port so a test (or a log line) can
+ * hand clients a dialable address.
+ */
+Endpoint boundEndpoint(int listenFd, const Endpoint &requested);
+
+} // namespace laoram::net
+
+#endif // LAORAM_NET_ENDPOINT_HH

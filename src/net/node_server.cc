@@ -1,0 +1,101 @@
+#include "net/node_server.hh"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+namespace laoram::net {
+
+NodeListener::NodeListener(storage::RemoteKvServer &server,
+                           const Endpoint &ep)
+    : server(server)
+{
+    std::string error;
+    listenFd = listenEndpoint(ep, &error);
+    if (listenFd < 0)
+        throw std::runtime_error("laoram_node cannot listen: "
+                                 + error);
+    bound = boundEndpoint(listenFd, ep);
+    if (::pipe(wakePipe) != 0) {
+        ::close(listenFd);
+        listenFd = -1;
+        throw std::runtime_error(
+            "laoram_node cannot create its wake pipe");
+    }
+    acceptor = std::thread([this] { acceptLoop(); });
+}
+
+NodeListener::~NodeListener()
+{
+    stop();
+}
+
+void
+NodeListener::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2] = {};
+        fds[0].fd = listenFd;
+        fds[0].events = POLLIN;
+        fds[1].fd = wakePipe[0];
+        fds[1].events = POLLIN;
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // poll failure: nothing sane left to accept
+        }
+        if (fds[1].revents != 0)
+            return; // stop() woke us
+        if (fds[0].revents == 0)
+            continue;
+        const int conn = ::accept(listenFd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return; // listener is gone
+        }
+        if (bound.kind == Endpoint::Kind::Tcp) {
+            // Request/response with small frames: Nagle + delayed-ACK
+            // would add ~40 ms to every reply. The dialer already
+            // disables it; the accepted side must too.
+            const int one = 1;
+            ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+        }
+        server.serveSocket(conn);
+    }
+}
+
+void
+NodeListener::stop()
+{
+    if (acceptor.joinable()) {
+        const char wake = 1;
+        // A full pipe is impossible (one byte per stop), but keep the
+        // write checked so -Wunused-result stays quiet.
+        if (::write(wakePipe[1], &wake, 1) < 0) {
+            // EBADF etc.: accept thread will still exit on poll error.
+        }
+        acceptor.join();
+    }
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    for (int &end : wakePipe) {
+        if (end >= 0) {
+            ::close(end);
+            end = -1;
+        }
+    }
+    if (bound.kind == Endpoint::Kind::Uds && !bound.path.empty())
+        ::unlink(bound.path.c_str());
+}
+
+} // namespace laoram::net

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * NodeListener: the accept loop that turns a RemoteKvServer into a
+ * real multi-node storage server. The server already knows how to
+ * serve any connected stream socket (RemoteKvServer::serveSocket,
+ * one service thread per connection); this class owns the listening
+ * socket — TCP `host:port` or UNIX-domain `unix:/path` — and feeds
+ * accepted connections into it.
+ *
+ * Lifecycle (the laoram_node binary's main loop):
+ *
+ *   1. construct → bind + listen + start the accept thread
+ *   2. endpoint() → the bound address (ephemeral port resolved), for
+ *      the startup log line and for tests that listen on port 0
+ *   3. stop()    → stop accepting and join the accept thread; the
+ *      caller then drain()s or shutdown()s the RemoteKvServer, which
+ *      owns the accepted connections
+ *
+ * stop() uses a self-pipe rather than closing the listen fd under the
+ * accept thread: poll() watches both fds, so the wake-up is race-free
+ * and portable.
+ */
+
+#ifndef LAORAM_NET_NODE_SERVER_HH
+#define LAORAM_NET_NODE_SERVER_HH
+
+#include <thread>
+
+#include "net/endpoint.hh"
+#include "storage/remote_backend.hh"
+
+namespace laoram::net {
+
+/** Accepts connections on an Endpoint and hands them to a server. */
+class NodeListener
+{
+  public:
+    /**
+     * Bind + listen on @p ep and start accepting for @p server (not
+     * owned; must outlive the listener or be shut down first).
+     *
+     * @throws std::runtime_error when the endpoint cannot be bound —
+     *         an environmental failure the caller reports (the node
+     *         binary fatals, a test surfaces the message).
+     */
+    NodeListener(storage::RemoteKvServer &server, const Endpoint &ep);
+    ~NodeListener();
+
+    NodeListener(const NodeListener &) = delete;
+    NodeListener &operator=(const NodeListener &) = delete;
+
+    /** The bound address (port 0 resolved to the kernel's pick). */
+    const Endpoint &endpoint() const { return bound; }
+
+    /**
+     * Stop accepting: wake and join the accept thread, close the
+     * listening socket (and unlink a UDS path — the address should
+     * die with the listener). Idempotent; the destructor calls it.
+     * Connections already accepted stay up — they belong to the
+     * RemoteKvServer.
+     */
+    void stop();
+
+  private:
+    void acceptLoop();
+
+    storage::RemoteKvServer &server;
+    Endpoint bound;
+    int listenFd = -1;
+    int wakePipe[2] = {-1, -1}; ///< [0] polled, [1] written by stop()
+    std::thread acceptor;
+};
+
+} // namespace laoram::net
+
+#endif // LAORAM_NET_NODE_SERVER_HH

@@ -1,5 +1,6 @@
 #include "storage/remote_backend.hh"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -27,6 +28,54 @@ inflightWritesGauge()
         "storage.remote.inflight_writes",
         "async write/flush RPCs parked in the pipelining window");
     return g;
+}
+
+// node.* metrics: the storage-node side of the link (also live for a
+// self-hosted in-process node, which runs the same frame loop).
+
+obs::Counter &
+nodeConnectionsCounter()
+{
+    static obs::Counter &c = obs::MetricsRegistry::instance().counter(
+        "node.connections",
+        "client connections accepted by the remote-KV node");
+    return c;
+}
+
+obs::Gauge &
+nodeActiveConnectionsGauge()
+{
+    static obs::Gauge &g = obs::MetricsRegistry::instance().gauge(
+        "node.active_connections",
+        "remote-KV node connections currently being served");
+    return g;
+}
+
+obs::Counter &
+nodeRpcsCounter()
+{
+    static obs::Counter &c = obs::MetricsRegistry::instance().counter(
+        "node.rpcs", "request frames executed by the remote-KV node");
+    return c;
+}
+
+obs::Counter &
+nodeReplayDiscardsCounter()
+{
+    static obs::Counter &c = obs::MetricsRegistry::instance().counter(
+        "node.replay_discards",
+        "replayed mutations acked without re-execution (seq at or "
+        "below the session high-water mark)");
+    return c;
+}
+
+obs::Counter &
+nodeClientReconnectsCounter()
+{
+    static obs::Counter &c = obs::MetricsRegistry::instance().counter(
+        "node.client_reconnects",
+        "successful client reconnect+replay recoveries");
+    return c;
 }
 
 /** Span name for a completed RPC, by request opcode. */
@@ -117,6 +166,68 @@ recvFrame(int fd, std::vector<std::uint8_t> &body)
     return recvAll(fd, body.data(), len);
 }
 
+/** recvAll under an absolute deadline; false on EOF, error or timeout. */
+bool
+recvAllDeadline(int fd, std::uint8_t *data, std::size_t len,
+                std::chrono::steady_clock::time_point deadline)
+{
+    while (len > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline)
+            return false;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count();
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(
+            &pfd, 1, static_cast<int>(left > 0 ? left : 1));
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (ready == 0)
+            return false; // deadline expired: the server is hung
+        const ssize_t n = ::recv(fd, data, len, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * recvFrame with an optional whole-frame deadline (@p timeoutMs <= 0
+ * waits forever). A timeout is indistinguishable from a dead peer to
+ * the caller — both mean "this connection is not going to answer".
+ */
+bool
+recvFrameDeadline(int fd, std::vector<std::uint8_t> &body,
+                  std::int64_t timeoutMs)
+{
+    if (timeoutMs <= 0)
+        return recvFrame(fd, body);
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::milliseconds(timeoutMs);
+    std::uint32_t len = 0;
+    if (!recvAllDeadline(fd, reinterpret_cast<std::uint8_t *>(&len),
+                         sizeof(len), deadline))
+        return false;
+    if (len > kMaxFrameBytes)
+        return false;
+    body.resize(len);
+    return recvAllDeadline(fd, body.data(), len, deadline);
+}
+
 /** Frame + send @p body; false when the connection is gone. */
 bool
 sendFrame(int fd, const std::vector<std::uint8_t> &body)
@@ -170,7 +281,23 @@ RemoteKvServer::connectClient()
 }
 
 void
-RemoteKvServer::shutdown()
+RemoteKvServer::serveSocket(int fd)
+{
+    std::lock_guard<std::mutex> lock(connMu);
+    if (stopped) {
+        // An accept racing a shutdown/drain: refuse quietly — the
+        // peer sees EOF and (in endpoint mode) redials elsewhere.
+        ::close(fd);
+        return;
+    }
+    Connection conn;
+    conn.fd = fd;
+    conn.thread = std::thread([this, fd] { serveConnection(fd); });
+    conns.push_back(std::move(conn));
+}
+
+void
+RemoteKvServer::stopConnections(int how)
 {
     std::vector<Connection> victims;
     {
@@ -179,15 +306,46 @@ RemoteKvServer::shutdown()
         victims.swap(conns);
     }
     for (Connection &c : victims) {
-        // SHUT_RDWR (not close) so a service thread blocked in recv()
-        // wakes up; the client end sees EOF on its next harvest.
-        ::shutdown(c.fd, SHUT_RDWR);
+        // shutdown (not close) so a service thread blocked in recv()
+        // wakes up; SHUT_RD alone lets an in-progress response drain.
+        ::shutdown(c.fd, how);
     }
     for (Connection &c : victims) {
         if (c.thread.joinable())
             c.thread.join();
         ::close(c.fd);
     }
+}
+
+void
+RemoteKvServer::shutdown()
+{
+    stopConnections(SHUT_RDWR);
+}
+
+void
+RemoteKvServer::drain()
+{
+    stopConnections(SHUT_RD);
+    std::lock_guard<std::mutex> lock(storeMu);
+    store->flush();
+}
+
+bool
+RemoteKvServer::admitMutation(std::uint64_t sessionId,
+                              std::uint64_t seq)
+{
+    if (sessionId == 0)
+        return true; // legacy client: no replay session, no dedupe
+    std::lock_guard<std::mutex> lock(sessionMu);
+    std::uint64_t &highWater = sessionHighWater[sessionId];
+    if (seq <= highWater) {
+        if (obs::metricsEnabled())
+            nodeReplayDiscardsCounter().inc();
+        return false;
+    }
+    highWater = seq;
+    return true;
 }
 
 void
@@ -210,6 +368,15 @@ RemoteKvServer::serveConnection(int fd)
     std::vector<std::uint8_t> req;
     std::vector<std::uint8_t> resp;
     std::vector<std::uint64_t> slots;
+
+    if (obs::metricsEnabled()) {
+        nodeConnectionsCounter().inc();
+        nodeActiveConnectionsGauge().inc();
+    }
+
+    /** Replay session bound to this connection by its Hello (0 until
+     *  then, and forever for a legacy 16-byte Hello). */
+    std::uint64_t connSession = 0;
 
     // Wire-supplied indices are untrusted input: a bad one must drop
     // the connection, not reach the inner store (whose range asserts
@@ -234,8 +401,18 @@ RemoteKvServer::serveConnection(int fd)
         appendU64(resp, seq);
         bool ok = true;
 
+        if (obs::metricsEnabled())
+            nodeRpcsCounter().inc();
+
         switch (static_cast<RemoteOp>(op)) {
           case RemoteOp::Hello: {
+            // 16 B legacy (slots, recordBytes) or 24 B with a replay
+            // sessionId appended; anything else is a corrupt stream.
+            if (payloadLen != 16 && payloadLen != 24) {
+                ok = false;
+                break;
+            }
+            connSession = payloadLen == 24 ? readU64(payload + 16) : 0;
             appendU64(resp, store->slots());
             appendU64(resp, store->recordBytes());
             appendU64(resp, store->metaCapacity());
@@ -289,12 +466,16 @@ RemoteKvServer::serveConnection(int fd)
                 ok = false;
                 break;
             }
+            if (!admitMutation(connSession, seq))
+                break; // replayed duplicate: ack without re-applying
             std::lock_guard<std::mutex> lock(storeMu);
             store->writeSlots(slots.data(), n,
                               payload + 8 + n * 8);
             break;
           }
           case RemoteOp::Flush: {
+            if (!admitMutation(connSession, seq))
+                break;
             std::lock_guard<std::mutex> lock(storeMu);
             store->flush();
             break;
@@ -329,6 +510,8 @@ RemoteKvServer::serveConnection(int fd)
                 ok = false;
                 break;
             }
+            if (!admitMutation(connSession, seq))
+                break;
             std::lock_guard<std::mutex> lock(storeMu);
             store->writeMeta(payload + 8, len);
             break;
@@ -361,21 +544,51 @@ RemoteKvServer::serveConnection(int fd)
     // owned by RemoteKvServer::shutdown(), since a second shutdown
     // is harmless but a double-close races with fd reuse.
     ::shutdown(fd, SHUT_RDWR);
+    if (obs::metricsEnabled())
+        nodeActiveConnectionsGauge().dec();
 }
 
 // ==================================================== RemoteKvBackend
+
+namespace {
+
+/** Seed material for jitter/session ids (timing + identity only —
+ *  never data, so determinism of payloads is untouched). */
+std::uint64_t
+entropy64()
+{
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}
+
+} // namespace
 
 RemoteKvBackend::RemoteKvBackend(const StorageConfig &cfg,
                                  std::uint64_t slots,
                                  std::uint64_t recordBytes,
                                  std::uint64_t metaBytes)
-    : SlotBackend(slots, recordBytes), cfg(cfg.remote)
+    : SlotBackend(slots, recordBytes),
+      cfg(cfg.remote),
+      jitterRng(entropy64())
 {
     LAORAM_ASSERT(this->cfg.windowDepth >= 1,
                   "remote-KV window needs at least one RPC in flight");
-    // Compose the node's inner store from the same StorageConfig: a
-    // configured path means a persistent (mmap) node, otherwise the
-    // node serves from its own DRAM.
+    if (!this->cfg.endpoint.empty()) {
+        // Endpoint mode: dial an out-of-process laoram_node. The node
+        // owns its storage and meta sizing; the handshake checks the
+        // geometry agrees.
+        std::string error;
+        if (!net::parseEndpoint(this->cfg.endpoint, &remoteEp, &error))
+            LAORAM_FATAL("bad remote-KV endpoint: ", error);
+        sessionId = this->cfg.sessionId;
+        while (sessionId == 0)
+            sessionId = jitterRng();
+        fd = dialWithRetry("initial connect");
+        return;
+    }
+    // Self-hosted mode: compose the node's inner store from the same
+    // StorageConfig — a configured path means a persistent (mmap)
+    // node, otherwise the node serves from its own DRAM.
     StorageConfig inner = cfg;
     inner.kind = cfg.path.empty() ? BackendKind::Dram
                                   : BackendKind::MmapFile;
@@ -393,10 +606,16 @@ RemoteKvBackend::RemoteKvBackend(const StorageConfig &cfg,
 RemoteKvBackend::RemoteKvBackend(int fd, std::uint64_t slots,
                                  std::uint64_t recordBytes,
                                  const RemoteKvConfig &cfg)
-    : SlotBackend(slots, recordBytes), cfg(cfg), fd(fd)
+    : SlotBackend(slots, recordBytes),
+      cfg(cfg),
+      fd(fd),
+      jitterRng(entropy64())
 {
     LAORAM_ASSERT(this->cfg.windowDepth >= 1,
                   "remote-KV window needs at least one RPC in flight");
+    // Attach mode serves tests that control the server's lifetime:
+    // the fd cannot be redialled, so the endpoint (if any) is ignored
+    // and a lost connection stays fatal.
     try {
         handshake();
     } catch (...) {
@@ -421,16 +640,33 @@ RemoteKvBackend::~RemoteKvBackend()
 void
 RemoteKvBackend::handshake()
 {
-    std::vector<std::uint8_t> payload;
-    appendU64(payload, nSlots);
-    appendU64(payload, recBytes);
-    Completion hello = sendRequest(RemoteOp::Hello, payload);
-    const std::vector<std::uint8_t> resp = await(hello);
-    if (resp.size() != 3 * sizeof(std::uint64_t) + 2)
-        throw std::runtime_error(
-            "remote-KV handshake: malformed Hello response");
-    const std::uint64_t srvSlots = readU64(resp.data());
-    const std::uint64_t srvRec = readU64(resp.data() + 8);
+    if (!rawHello(fd))
+        connectionLost("handshake");
+}
+
+bool
+RemoteKvBackend::rawHello(int helloFd)
+{
+    std::vector<std::uint8_t> frame;
+    frame.push_back(static_cast<std::uint8_t>(RemoteOp::Hello));
+    appendU64(frame, 0); // seq 0: outside the data-RPC stream
+    appendU64(frame, nSlots);
+    appendU64(frame, recBytes);
+    appendU64(frame, sessionId);
+    if (!sendFrame(helloFd, frame))
+        return false;
+    if (!recvFrameDeadline(helloFd, frame, cfg.responseTimeoutMs))
+        return false;
+    constexpr std::size_t kHelloBody = 3 * sizeof(std::uint64_t) + 2;
+    if (frame.size() != 9 + kHelloBody
+        || frame[0]
+               != (static_cast<std::uint8_t>(RemoteOp::Hello)
+                   | kResponseBit)
+        || readU64(frame.data() + 1) != 0)
+        return false;
+    const std::uint8_t *body = frame.data() + 9;
+    const std::uint64_t srvSlots = readU64(body);
+    const std::uint64_t srvRec = readU64(body + 8);
     if (srvSlots != nSlots || srvRec != recBytes) {
         throw std::runtime_error(
             "remote-KV handshake: server stores " +
@@ -439,9 +675,10 @@ RemoteKvBackend::handshake()
             std::to_string(nSlots) + " slots of " +
             std::to_string(recBytes) + " B");
     }
-    serverMetaCap = readU64(resp.data() + 16);
-    serverPersistent = resp[24] != 0;
-    serverReopened = resp[25] != 0;
+    serverMetaCap = readU64(body + 16);
+    serverPersistent = body[24] != 0;
+    serverReopened = body[25] != 0;
+    return true;
 }
 
 void
@@ -450,6 +687,76 @@ RemoteKvBackend::connectionLost(const char *what) const
     LAORAM_FATAL("remote-KV connection lost during ", what,
                  " (server died or closed the socket); the tree is "
                  "unreachable, aborting the run");
+}
+
+int
+RemoteKvBackend::dialWithRetry(const char *what)
+{
+    // Attempt 0 is immediate (the node is usually up); each further
+    // attempt waits base * 2^(attempt-1) capped at backoffMaxMs, plus
+    // up to 50% jitter so shard clients do not redial in lock-step.
+    for (std::uint32_t attempt = 0; attempt <= cfg.maxRetries;
+         ++attempt) {
+        if (attempt > 0) {
+            const int shift =
+                attempt - 1 < 20 ? static_cast<int>(attempt - 1) : 20;
+            std::int64_t waitMs = cfg.backoffBaseMs << shift;
+            if (waitMs > cfg.backoffMaxMs || waitMs <= 0)
+                waitMs = cfg.backoffMaxMs;
+            if (waitMs > 1)
+                waitMs += static_cast<std::int64_t>(
+                    jitterRng() % static_cast<std::uint64_t>(
+                        waitMs / 2 + 1));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(waitMs));
+        }
+        std::string error;
+        const int nfd = net::dialEndpoint(remoteEp, &error);
+        if (nfd < 0)
+            continue; // refused/unreachable: the node may be restarting
+        if (rawHello(nfd))
+            return nfd;
+        ::close(nfd); // half-open or hung node: try again
+    }
+    connectionLost(what);
+}
+
+void
+RemoteKvBackend::recoverConnection(const char *what)
+{
+    if (!retryEnabled())
+        connectionLost(what);
+    warn("remote-KV connection to ", remoteEp.str(), " lost during ",
+         what, "; reconnecting and replaying ", pendingRpcs.size(),
+         " un-acked request(s)");
+    for (;;) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+        try {
+            fd = dialWithRetry(what); // fatal when retries run out
+        } catch (const std::runtime_error &e) {
+            // Mid-run geometry change: the node restarted over a
+            // different tree — replaying into it would corrupt.
+            LAORAM_FATAL("remote-KV reconnect to ", remoteEp.str(),
+                         " refused: ", e.what());
+        }
+        // Responses are strictly ordered, so the un-acked RPCs are
+        // exactly the contiguous tail of the stream: re-send them in
+        // order. The node's session high-water mark discards (but
+        // acks) any mutation it already applied.
+        bool replayed = true;
+        for (const PendingRpc &pending : pendingRpcs) {
+            if (!sendFrame(fd, pending.frame)) {
+                replayed = false; // died again mid-replay: redial
+                break;
+            }
+        }
+        if (replayed)
+            break;
+    }
+    if (obs::metricsEnabled())
+        nodeClientReconnectsCounter().inc();
 }
 
 std::vector<std::uint8_t> &
@@ -469,12 +776,17 @@ RemoteKvBackend::dispatchRequest()
     pending.op = frameScratch[0];
     if (obs::tracingEnabled())
         pending.dispatchNs = obs::traceNowNs();
+    if (retryEnabled())
+        pending.frame = frameScratch; // kept for reconnect replay
     Completion completion = pending.promise.get_future();
     pendingRpcs.push_back(std::move(pending));
     ++nextSeq;
 
+    // The RPC is parked *before* the send, so a send failure recovers
+    // uniformly: the reconnect replay re-sends every pending frame,
+    // including this one.
     if (!sendFrame(fd, frameScratch))
-        connectionLost("request send");
+        recoverConnection("request send");
     return completion;
 }
 
@@ -487,24 +799,46 @@ RemoteKvBackend::sendRequest(RemoteOp op,
     return dispatchRequest();
 }
 
+bool
+RemoteKvBackend::recvResponseFrame(std::vector<std::uint8_t> &frame)
+{
+    return recvFrameDeadline(fd, frame, cfg.responseTimeoutMs);
+}
+
 void
 RemoteKvBackend::harvestOne()
 {
     LAORAM_ASSERT(!pendingRpcs.empty(),
                   "harvest with no RPC outstanding");
     std::vector<std::uint8_t> frame;
-    if (!recvFrame(fd, frame))
-        connectionLost("response wait");
-    if (frame.size() < 1 + sizeof(std::uint64_t))
-        connectionLost("response decode");
+    for (;;) {
+        // Any failure here — EOF, reset, a hung server tripping the
+        // response deadline, a malformed or mis-sequenced frame from
+        // a corrupted stream — means this connection is done; in
+        // endpoint mode the recovery replays the window and the loop
+        // keeps harvesting the replayed stream.
+        if (!recvResponseFrame(frame)) {
+            recoverConnection("response wait");
+            continue;
+        }
+        if (frame.size() < 1 + sizeof(std::uint64_t)) {
+            recoverConnection("response decode");
+            continue;
+        }
+        const std::uint8_t op = frame[0];
+        const std::uint64_t seq = readU64(frame.data() + 1);
+        // In-order stream: every response must match the oldest
+        // request.
+        if (op != (pendingRpcs.front().op | kResponseBit)
+            || seq != pendingRpcs.front().seq) {
+            recoverConnection("response sequencing");
+            continue;
+        }
+        break;
+    }
 
     PendingRpc pending = std::move(pendingRpcs.front());
     pendingRpcs.pop_front();
-    const std::uint8_t op = frame[0];
-    const std::uint64_t seq = readU64(frame.data() + 1);
-    // In-order stream: every response must match the oldest request.
-    if (op != (pending.op | kResponseBit) || seq != pending.seq)
-        connectionLost("response sequencing");
     if (pending.dispatchNs >= 0 && obs::tracingEnabled()) {
         // Full round trip, dispatch to harvest — for an async write
         // this includes the time it sat pipelined in the window.

@@ -39,6 +39,7 @@
  *               echoed; a response is sent for every request.
  *
  *   Hello      c->s: u64 slots, u64 recordBytes
+ *                    [, u64 sessionId]   (16 B legacy / 24 B current)
  *              s->c: u64 slots, u64 recordBytes, u64 metaCapacity,
  *                    u8 persistent, u8 openedExisting
  *   ReadSlots  c->s: u64 n, u64 slot[n]
@@ -56,10 +57,20 @@
  * on any host; the IoStats *counts* are identical for any shaper
  * setting, only the measured nanoseconds change.
  *
- * Failure model: a lost connection (server killed mid-trace, EOF,
- * ECONNRESET) is a clean LAORAM_FATAL from the client — storage is
- * not optional, so the run ends with a clear message instead of a
- * hang or silent corruption. Construction-time problems (handshake
+ * Failure model: self-hosted / attached-fd clients treat a lost
+ * connection (server killed mid-trace, EOF, ECONNRESET) as a clean
+ * LAORAM_FATAL — their server shares the process, so a lost
+ * socketpair is unrecoverable. A client dialled at an *endpoint*
+ * (RemoteKvConfig::endpoint, i.e. a real out-of-process laoram_node)
+ * instead reconnects with bounded exponential backoff + jitter and
+ * replays its un-acked request window: responses arrive strictly in
+ * request order, so the un-acked RPCs are exactly the contiguous
+ * tail of the stream, and re-sending them in order preserves
+ * read-your-writes. The node discards (but still acks) replayed
+ * mutations at-or-below the session's applied high-water mark, so a
+ * write that was applied but whose ack was lost is not applied
+ * twice. Only when every retry is exhausted does the endpoint client
+ * fall back to the same fatal. Construction-time problems (handshake
  * geometry mismatch) throw std::runtime_error like an incompatible
  * mmap reopen.
  */
@@ -72,10 +83,13 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "net/endpoint.hh"
 #include "storage/slot_backend.hh"
 
 namespace laoram::storage {
@@ -120,6 +134,14 @@ class RemoteKvServer
     int connectClient();
 
     /**
+     * Serve an already-connected stream socket (an accepted TCP/UDS
+     * connection): takes ownership of @p fd and spawns its service
+     * thread. This is how NodeListener turns accepts into
+     * connections; the frame loop is identical to connectClient's.
+     */
+    void serveSocket(int fd);
+
+    /**
      * Hard-stop the node: shut down every connection socket (which
      * unblocks service threads mid-recv) and join the threads. Models
      * a remote node dying mid-trace; the destructor runs the same
@@ -127,19 +149,49 @@ class RemoteKvServer
      */
     void shutdown();
 
+    /**
+     * Graceful stop (laoram_node's SIGTERM path): shut down only the
+     * *read* side of every connection, so a request already being
+     * processed still gets its response out, join the service
+     * threads, then flush the inner backend so a persistent node's
+     * acked writes reach media before the process exits.
+     */
+    void drain();
+
     /** The backend this node serves (server-side IoStats live here). */
     const SlotBackend &inner() const { return *store; }
 
   private:
     void serveConnection(int fd);
 
+    /** Shared teardown: @p how is SHUT_RD (drain) or SHUT_RDWR. */
+    void stopConnections(int how);
+
     /** Shaper: block this request for its modeled network time. */
     void shapeDelay(std::uint64_t wireBytes) const;
+
+    /**
+     * Replay idempotence: true when a mutating request (WriteSlots /
+     * WriteMeta / Flush) at @p seq from @p sessionId is new and must
+     * execute; false when it is a replayed duplicate the node already
+     * applied — the caller still acks it, silently. Advances the
+     * session's high-water mark when it returns true.
+     */
+    bool admitMutation(std::uint64_t sessionId, std::uint64_t seq);
 
     std::unique_ptr<SlotBackend> store;
     RemoteKvConfig shaping;
 
     std::mutex storeMu; ///< serializes inner-backend access
+
+    /**
+     * Per-session applied high-water marks (guarded by sessionMu).
+     * Lost on node restart — harmless, because a restarted node sees
+     * the client replay a contiguous ordered tail whose re-execution
+     * is naturally idempotent (same slots, same bytes).
+     */
+    std::mutex sessionMu;
+    std::unordered_map<std::uint64_t, std::uint64_t> sessionHighWater;
 
     std::mutex connMu; ///< guards conns (connect vs shutdown)
     struct Connection
@@ -164,7 +216,11 @@ class RemoteKvBackend final : public SlotBackend
      * Self-hosted convenience used by makeBackend(--storage=remote):
      * builds the inner backend described by @p cfg (mmap when
      * cfg.path is set, DRAM otherwise), hosts an in-process
-     * RemoteKvServer over it, connects, and handshakes.
+     * RemoteKvServer over it, connects, and handshakes. When
+     * cfg.remote.endpoint is set no server is hosted: the client
+     * dials the out-of-process laoram_node there instead (with the
+     * same retry/backoff policy as a mid-run reconnect), and
+     * @p metaBytes is ignored — the node owns its meta sizing.
      */
     RemoteKvBackend(const StorageConfig &cfg, std::uint64_t slots,
                     std::uint64_t recordBytes, std::uint64_t metaBytes);
@@ -216,6 +272,16 @@ class RemoteKvBackend final : public SlotBackend
     void handshake();
 
     /**
+     * One raw Hello exchange on @p helloFd, outside the pendingRpcs
+     * machinery (seq 0, never used by data RPCs) so a recovery
+     * re-handshake cannot disturb the in-flight window. Caches the
+     * server facts on success; false on a connection-level failure
+     * (caller retries or fatals); throws std::runtime_error on a
+     * geometry mismatch.
+     */
+    bool rawHello(int helloFd);
+
+    /**
      * Start building a request frame in frameScratch (opcode + seq
      * header written); the caller appends the payload bytes directly
      * — no intermediate buffer — and then dispatchRequest() sends.
@@ -233,7 +299,11 @@ class RemoteKvBackend final : public SlotBackend
     Completion sendRequest(RemoteOp op,
                            const std::vector<std::uint8_t> &payload);
 
-    /** Receive exactly one response frame; resolve the oldest pending. */
+    /**
+     * Receive exactly one response frame; resolve the oldest pending.
+     * A dead or hung (responseTimeoutMs exceeded) connection runs the
+     * recovery path first, then keeps harvesting the replayed stream.
+     */
     void harvestOne();
 
     /** Drive harvestOne() until @p c is resolved; returns its body. */
@@ -245,11 +315,42 @@ class RemoteKvBackend final : public SlotBackend
     /** Fatal: the connection died mid-run. Never returns. */
     [[noreturn]] void connectionLost(const char *what) const;
 
+    /** True when a lost connection may be redialled (endpoint mode). */
+    bool retryEnabled() const { return remoteEp.valid(); }
+
+    /**
+     * The connection died (or timed out) during @p what: redial the
+     * endpoint with bounded backoff + jitter, re-handshake, and
+     * replay every pending request frame in order. Fatal (via
+     * connectionLost) when not in endpoint mode or when maxRetries
+     * dials all fail.
+     */
+    void recoverConnection(const char *what);
+
+    /**
+     * One backoff-paced dial + raw re-handshake attempt loop; returns
+     * the connected, handshaken fd or fatals. Shared by construction
+     * and recovery (construction tolerates a node that is still
+     * starting up the same way recovery tolerates one restarting).
+     */
+    int dialWithRetry(const char *what);
+
+    /**
+     * Receive one response frame, honouring cfg.responseTimeoutMs;
+     * false on EOF, error, or deadline (caller recovers or fatals).
+     */
+    bool recvResponseFrame(std::vector<std::uint8_t> &frame);
+
     std::unique_ptr<RemoteKvServer> server; ///< self-hosted only
     RemoteKvConfig cfg;
+    net::Endpoint remoteEp; ///< parsed cfg.endpoint (invalid = none)
     int fd = -1;
 
     std::uint64_t nextSeq = 1;
+    std::uint64_t sessionId = 0; ///< replay identity sent in Hello
+
+    /** Jitter source for backoff pacing (timing only, never data). */
+    std::mt19937_64 jitterRng;
 
     /** Responses arrive strictly in request order. */
     struct PendingRpc
@@ -259,6 +360,12 @@ class RemoteKvBackend final : public SlotBackend
         std::promise<std::vector<std::uint8_t>> promise;
         /** Tracer timestamp at dispatch (-1 = tracing was off). */
         std::int64_t dispatchNs = -1;
+        /**
+         * Full request frame, kept for replay (endpoint mode only —
+         * a self-hosted client cannot reconnect, so it skips the
+         * copy).
+         */
+        std::vector<std::uint8_t> frame;
     };
     mutable std::deque<PendingRpc> pendingRpcs;
 

@@ -42,6 +42,25 @@ addStorageArgs(ArgParser &args, const std::string &defaultPath)
     sa.remoteLatencySeen = args.seenTracker("remote-latency-us");
     sa.remoteMbpsSeen = args.seenTracker("remote-mbps");
     sa.remoteWindowSeen = args.seenTracker("remote-window");
+    sa.remoteEndpoint = args.addString(
+        "remote-endpoint",
+        "--storage=remote: dial an out-of-process laoram_node at "
+        "host:port or unix:PATH instead of self-hosting the node "
+        "in-process",
+        "");
+    sa.remoteRetries = args.addUint(
+        "remote-retries",
+        "--remote-endpoint: reconnect attempts per lost connection, "
+        "with bounded exponential backoff (0 = fail fast)",
+        8);
+    sa.remoteTimeoutMs = args.addUint(
+        "remote-timeout-ms",
+        "--remote-endpoint: deadline on each response wait before "
+        "the connection counts as lost (0 = wait forever)",
+        0);
+    sa.remoteEndpointSeen = args.seenTracker("remote-endpoint");
+    sa.remoteRetriesSeen = args.seenTracker("remote-retries");
+    sa.remoteTimeoutSeen = args.seenTracker("remote-timeout-ms");
     sa.checkpointPath = args.addString(
         "checkpoint-path",
         "client-side sidecar file for trusted-state snapshots "
@@ -115,15 +134,53 @@ storageConfigFromArgsChecked(const StorageArgs &sa, StorageConfig *out,
         cfg.remote.bytesPerSec = *sa.remoteMbps * 1000 * 1000;
         cfg.remote.windowDepth =
             static_cast<std::size_t>(*sa.remoteWindow);
+        if (!sa.remoteEndpoint->empty()) {
+            // Endpoint mode: the laoram_node at that address owns the
+            // tree (and its file); a client-side path would silently
+            // do nothing.
+            if (!cfg.path.empty()) {
+                setError(error,
+                         "--remote-endpoint and --storage-path are "
+                         "mutually exclusive: the node at the "
+                         "endpoint owns the tree file (pass the path "
+                         "to laoram_node instead)");
+                return false;
+            }
+            if (sa.remoteEndpoint->rfind("unix:", 0) != 0
+                && sa.remoteEndpoint->rfind(':')
+                       == std::string::npos) {
+                setError(error, "--remote-endpoint '"
+                                    + *sa.remoteEndpoint
+                                    + "' is not host:port or "
+                                      "unix:PATH");
+                return false;
+            }
+            cfg.remote.endpoint = *sa.remoteEndpoint;
+            cfg.remote.maxRetries =
+                static_cast<std::uint32_t>(*sa.remoteRetries);
+            cfg.remote.responseTimeoutMs =
+                static_cast<std::int64_t>(*sa.remoteTimeoutMs);
+        } else if (*sa.remoteRetriesSeen || *sa.remoteTimeoutSeen) {
+            // Retry/timeout only exist on the reconnecting dial path;
+            // a self-hosted in-process node can never reconnect.
+            setError(error,
+                     "--remote-retries/--remote-timeout-ms require "
+                     "--remote-endpoint (a self-hosted node cannot "
+                     "be redialled)");
+            return false;
+        }
     } else if (*sa.remoteLatencySeen || *sa.remoteMbpsSeen
-               || *sa.remoteWindowSeen) {
+               || *sa.remoteWindowSeen || *sa.remoteEndpointSeen
+               || *sa.remoteRetriesSeen || *sa.remoteTimeoutSeen) {
         // A shaped link on a local backend would silently measure
         // nothing: the --remote-* knobs only exist on the RPC path,
         // so reject them loudly instead of ignoring them. Presence-
         // tracked, so even an explicitly-passed default value trips
         // this.
         setError(error, "--remote-latency-us/--remote-mbps/"
-                        "--remote-window require --storage=remote");
+                        "--remote-window/--remote-endpoint/"
+                        "--remote-retries/--remote-timeout-ms "
+                        "require --storage=remote");
         return false;
     }
 
@@ -143,15 +200,15 @@ storageConfigFromArgsChecked(const StorageArgs &sa, StorageConfig *out,
     cfg.keepExisting = *sa.keepExisting;
     if (cfg.keepExisting
         && (cfg.kind == BackendKind::Dram
-            || (cfg.kind == BackendKind::Remote
-                && cfg.path.empty()))) {
+            || (cfg.kind == BackendKind::Remote && cfg.path.empty()
+                && cfg.remote.endpoint.empty()))) {
         // A DRAM tree (local, or behind a pathless remote node) dies
         // with the process: "keep" it and the run would silently
         // serve a fresh store while the user believes state survived.
         // Reject loudly instead.
         setError(error, "--storage-keep requires a persistent backend "
                         "(--storage=mmap, or --storage=remote with "
-                        "--storage-path)");
+                        "--storage-path or --remote-endpoint)");
         return false;
     }
 
@@ -173,9 +230,13 @@ storageConfigFromArgsChecked(const StorageArgs &sa, StorageConfig *out,
                  "snapshot to restore from)");
         return false;
     }
+    // An endpoint node counts as potentially persistent: whether its
+    // tree actually survives is the node's configuration, which the
+    // handshake reports at connect time.
     const bool persistent =
         cfg.kind == BackendKind::MmapFile
-        || (cfg.kind == BackendKind::Remote && !cfg.path.empty());
+        || (cfg.kind == BackendKind::Remote
+            && (!cfg.path.empty() || !cfg.remote.endpoint.empty()));
     if (!ckpt.path.empty() && !persistent) {
         // A snapshot is only meaningful against the tree it was taken
         // with; a DRAM tree dies with the process.

@@ -35,6 +35,14 @@ struct StorageArgs
     std::shared_ptr<bool> remoteMbpsSeen;
     std::shared_ptr<bool> remoteWindowSeen;
 
+    // Out-of-process node (laoram_node) dial knobs.
+    std::shared_ptr<std::string> remoteEndpoint; ///< host:port|unix:p
+    std::shared_ptr<std::uint64_t> remoteRetries;   ///< redials/loss
+    std::shared_ptr<std::uint64_t> remoteTimeoutMs; ///< response wait
+    std::shared_ptr<bool> remoteEndpointSeen;
+    std::shared_ptr<bool> remoteRetriesSeen;
+    std::shared_ptr<bool> remoteTimeoutSeen;
+
     // Trusted-state checkpoint knobs (client-side sidecar file; see
     // storage::CheckpointConfig).
     std::shared_ptr<std::string> checkpointPath; ///< sidecar file

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Endpoint grammar unit tests: parseEndpoint accepts exactly the
+ * spellings users type (--listen / --remote-endpoint) and str()
+ * round-trips them; malformed inputs fail with a message and leave
+ * the output untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/endpoint.hh"
+
+namespace laoram::net {
+namespace {
+
+TEST(Endpoint, ParsesTcpHostPort)
+{
+    Endpoint ep;
+    ASSERT_TRUE(parseEndpoint("127.0.0.1:7070", &ep));
+    EXPECT_EQ(ep.kind, Endpoint::Kind::Tcp);
+    EXPECT_EQ(ep.host, "127.0.0.1");
+    EXPECT_EQ(ep.port, 7070);
+    EXPECT_EQ(ep.str(), "127.0.0.1:7070");
+
+    ASSERT_TRUE(parseEndpoint("localhost:0", &ep));
+    EXPECT_EQ(ep.host, "localhost");
+    EXPECT_EQ(ep.port, 0); // ephemeral: resolved by boundEndpoint
+}
+
+TEST(Endpoint, ParsesUdsPath)
+{
+    Endpoint ep;
+    ASSERT_TRUE(parseEndpoint("unix:/tmp/node.sock", &ep));
+    EXPECT_EQ(ep.kind, Endpoint::Kind::Uds);
+    EXPECT_EQ(ep.path, "/tmp/node.sock");
+    EXPECT_EQ(ep.str(), "unix:/tmp/node.sock");
+}
+
+TEST(Endpoint, RejectsMalformedSpellings)
+{
+    Endpoint ep;
+    std::string error;
+    EXPECT_FALSE(parseEndpoint("", &ep, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseEndpoint("justahost", &ep, &error));
+    EXPECT_FALSE(parseEndpoint("host:notaport", &ep, &error));
+    EXPECT_FALSE(parseEndpoint("host:99999", &ep, &error));
+    EXPECT_FALSE(parseEndpoint("unix:", &ep, &error));
+    // A UDS path longer than sockaddr_un can hold must be rejected at
+    // parse time, not truncated at bind time.
+    EXPECT_FALSE(
+        parseEndpoint("unix:/" + std::string(300, 'x'), &ep, &error));
+    // Failed parses never clobber the output endpoint.
+    EXPECT_EQ(ep.kind, Endpoint::Kind::None);
+}
+
+TEST(Endpoint, DialFailsCleanlyOnRefusedPort)
+{
+    Endpoint ep;
+    // Port 1 on loopback: virtually never listening, and connect()
+    // fails fast instead of timing out.
+    ASSERT_TRUE(parseEndpoint("127.0.0.1:1", &ep));
+    std::string error;
+    EXPECT_LT(dialEndpoint(ep, &error), 0);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Endpoint, DefaultEndpointIsNeverDialable)
+{
+    Endpoint ep;
+    EXPECT_FALSE(ep.valid());
+    std::string error;
+    EXPECT_LT(dialEndpoint(ep, &error), 0);
+    EXPECT_LT(listenEndpoint(ep, &error), 0);
+}
+
+} // namespace
+} // namespace laoram::net

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Fault-injection proxy for the remote-KV wire protocol: an
+ * in-process TCP relay that sits between an endpoint-mode
+ * RemoteKvBackend and a RemoteKvServer and misbehaves on cue —
+ * dropping the connection after N forwarded requests, truncating a
+ * response frame mid-payload, delaying responses, or black-holing a
+ * specific request (swallowing it so the client's response deadline
+ * is the only way out).
+ *
+ * The relay is frame-aware in both directions (it reads whole
+ * length-prefixed frames before forwarding), so faults land on clean
+ * protocol boundaries ("after request #7", "halfway through response
+ * #3") and tests are reproducible. Each armed fault fires exactly
+ * once per proxy lifetime and then disarms, so a client that
+ * reconnects through the same proxy finds a healthy link — which is
+ * precisely the recovery path under test.
+ *
+ * The upstream server outlives every relayed connection (each inbound
+ * accept opens a fresh RemoteKvServer::connectClient() stream), so
+ * the node's per-session replay high-water marks persist across the
+ * client's reconnects, exactly like a laoram_node that stayed up
+ * while the network flaked.
+ */
+
+#ifndef LAORAM_TESTS_NET_FLAKY_PROXY_HH
+#define LAORAM_TESTS_NET_FLAKY_PROXY_HH
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/endpoint.hh"
+#include "storage/remote_backend.hh"
+
+namespace laoram::net {
+
+/**
+ * What the proxy does to the stream. Counts are 1-based positions in
+ * the proxy-lifetime frame stream of that direction (Hello frames
+ * count), 0 = fault disabled. Every positional fault is one-shot.
+ */
+struct FaultPlan
+{
+    /** Close both sides right after forwarding this many requests. */
+    std::uint64_t dropAfterRequests = 0;
+
+    /**
+     * Forward only the length prefix and half the body of response
+     * #N, then kill the connection: the client observes EOF mid-frame
+     * and must treat the partial response as lost, not decode it.
+     */
+    std::uint64_t truncateResponse = 0;
+
+    /**
+     * Swallow request #N and everything after it on that connection
+     * (the link looks alive but nothing answers). Only the client's
+     * response deadline gets it out of this one.
+     */
+    std::uint64_t blackholeRequest = 0;
+
+    /** Fixed extra delay before forwarding every response frame. */
+    std::int64_t delayResponsesMs = 0;
+};
+
+/**
+ * The relay itself: listens on an ephemeral loopback TCP port, and
+ * for every accepted connection dials a fresh stream into @p upstream
+ * and pumps frames both ways, applying the FaultPlan.
+ */
+class FlakyProxy
+{
+  public:
+    FlakyProxy(storage::RemoteKvServer &upstream, const FaultPlan &plan)
+        : upstream(upstream), plan(plan)
+    {
+        Endpoint want;
+        std::string error;
+        if (!parseEndpoint("127.0.0.1:0", &want, &error))
+            throw std::runtime_error(error);
+        listenFd = listenEndpoint(want, &error);
+        if (listenFd < 0)
+            throw std::runtime_error("flaky proxy: " + error);
+        bound = boundEndpoint(listenFd, want);
+        if (::pipe(wakePipe) != 0) {
+            ::close(listenFd);
+            throw std::runtime_error("flaky proxy: pipe failed");
+        }
+        acceptor = std::thread([this] { acceptLoop(); });
+    }
+
+    ~FlakyProxy() { stop(); }
+
+    FlakyProxy(const FlakyProxy &) = delete;
+    FlakyProxy &operator=(const FlakyProxy &) = delete;
+
+    /** Dialable "127.0.0.1:port" spelling of the relay's listener. */
+    std::string endpoint() const { return bound.str(); }
+
+    /** Inbound connections accepted so far (>= 2 after a reconnect). */
+    std::uint64_t connectionsServed() const { return connections.load(); }
+
+    /** Armed faults that actually fired. */
+    std::uint64_t faultsFired() const { return faults.load(); }
+
+    /** Stop accepting, sever every relayed connection, join threads. */
+    void
+    stop()
+    {
+        {
+            std::lock_guard<std::mutex> lock(linkMu);
+            if (stopped)
+                return;
+            stopped = true;
+        }
+        const char byte = 1;
+        (void)!::write(wakePipe[1], &byte, 1);
+        acceptor.join();
+        ::close(listenFd);
+        ::close(wakePipe[0]);
+        ::close(wakePipe[1]);
+        {
+            std::lock_guard<std::mutex> lock(linkMu);
+            for (auto &link : links) {
+                if (link->clientFd >= 0)
+                    ::shutdown(link->clientFd, SHUT_RDWR);
+                if (link->serverFd >= 0)
+                    ::shutdown(link->serverFd, SHUT_RDWR);
+            }
+        }
+        for (auto &link : links)
+            if (link->thread.joinable())
+                link->thread.join();
+    }
+
+  private:
+    struct Link
+    {
+        int clientFd = -1;
+        int serverFd = -1;
+        std::thread thread;
+    };
+
+    // ---- Frame plumbing (mirrors the protocol's u32-length framing;
+    // ---- reimplemented here because the library keeps its helpers
+    // ---- private to remote_backend.cc).
+
+    static bool
+    recvAll(int fd, void *data, std::size_t len)
+    {
+        auto *p = static_cast<std::uint8_t *>(data);
+        while (len > 0) {
+            const ssize_t got = ::recv(fd, p, len, 0);
+            if (got == 0)
+                return false;
+            if (got < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            p += got;
+            len -= static_cast<std::size_t>(got);
+        }
+        return true;
+    }
+
+    static bool
+    sendAll(int fd, const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        while (len > 0) {
+            const ssize_t put = ::send(fd, p, len, MSG_NOSIGNAL);
+            if (put <= 0) {
+                if (put < 0 && errno == EINTR)
+                    continue;
+                return false;
+            }
+            p += put;
+            len -= static_cast<std::size_t>(put);
+        }
+        return true;
+    }
+
+    static bool
+    recvFrame(int fd, std::vector<std::uint8_t> &body)
+    {
+        std::uint32_t len = 0;
+        if (!recvAll(fd, &len, sizeof(len)))
+            return false;
+        if (len > (1u << 30)) // matches the protocol's frame cap
+            return false;
+        body.resize(len);
+        return recvAll(fd, body.data(), len);
+    }
+
+    static bool
+    sendFrame(int fd, const std::vector<std::uint8_t> &body)
+    {
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(body.size());
+        return sendAll(fd, &len, sizeof(len))
+               && sendAll(fd, body.data(), body.size());
+    }
+
+    void
+    acceptLoop()
+    {
+        for (;;) {
+            pollfd fds[2] = {{listenFd, POLLIN, 0},
+                             {wakePipe[0], POLLIN, 0}};
+            const int ready = ::poll(fds, 2, -1);
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                return;
+            }
+            if (fds[1].revents != 0)
+                return;
+            const int conn = ::accept(listenFd, nullptr, nullptr);
+            if (conn < 0) {
+                if (errno == EINTR || errno == ECONNABORTED)
+                    continue;
+                return;
+            }
+            connections.fetch_add(1);
+            // Same latency rule as the real listener: no Nagle on the
+            // relayed leg, faults should be the only added delay.
+            const int one = 1;
+            ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            auto link = std::make_unique<Link>();
+            Link *raw = link.get();
+            raw->clientFd = conn;
+            raw->serverFd = upstream.connectClient();
+            {
+                std::lock_guard<std::mutex> lock(linkMu);
+                if (stopped) {
+                    ::close(raw->clientFd);
+                    ::close(raw->serverFd);
+                    continue;
+                }
+                links.push_back(std::move(link));
+            }
+            raw->thread = std::thread([this, raw] { relay(raw); });
+        }
+    }
+
+    void
+    relay(Link *link)
+    {
+        // Responses pump on a side thread; requests pump here. When
+        // either direction ends (EOF, fault, stop), shutting both
+        // sockets down unblocks the other.
+        std::thread down(
+            [this, link] { pumpResponses(link->serverFd, link->clientFd); });
+        pumpRequests(link->clientFd, link->serverFd);
+        ::shutdown(link->serverFd, SHUT_RDWR);
+        ::shutdown(link->clientFd, SHUT_RDWR);
+        down.join();
+        std::lock_guard<std::mutex> lock(linkMu);
+        ::close(link->clientFd);
+        ::close(link->serverFd);
+        link->clientFd = -1;
+        link->serverFd = -1;
+    }
+
+    void
+    pumpRequests(int from, int to)
+    {
+        std::vector<std::uint8_t> frame;
+        bool swallowing = false;
+        for (;;) {
+            if (!recvFrame(from, frame))
+                return;
+            const std::uint64_t n = requestsSeen.fetch_add(1) + 1;
+            if (plan.blackholeRequest != 0 && n >= plan.blackholeRequest
+                && !blackholeFired.exchange(true)) {
+                // From here on this connection is a black hole: the
+                // request (and any pipelined successors) vanish while
+                // the socket stays open and silent.
+                swallowing = true;
+                faults.fetch_add(1);
+            }
+            if (swallowing)
+                continue;
+            if (!sendFrame(to, frame))
+                return;
+            if (plan.dropAfterRequests != 0
+                && n >= plan.dropAfterRequests
+                && !dropFired.exchange(true)) {
+                faults.fetch_add(1);
+                return; // relay() severs both directions
+            }
+        }
+    }
+
+    void
+    pumpResponses(int from, int to)
+    {
+        std::vector<std::uint8_t> frame;
+        for (;;) {
+            if (!recvFrame(from, frame)) {
+                // Upstream is done; stop feeding the client so its
+                // next wait observes the loss promptly.
+                ::shutdown(to, SHUT_RDWR);
+                return;
+            }
+            if (plan.delayResponsesMs > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(plan.delayResponsesMs));
+            const std::uint64_t n = responsesSeen.fetch_add(1) + 1;
+            if (plan.truncateResponse != 0 && n >= plan.truncateResponse
+                && !truncateFired.exchange(true)) {
+                faults.fetch_add(1);
+                // Promise the whole body, deliver half, die: the
+                // client must see a mid-frame EOF, never a short
+                // frame parsed as complete.
+                const std::uint32_t len =
+                    static_cast<std::uint32_t>(frame.size());
+                sendAll(to, &len, sizeof(len));
+                sendAll(to, frame.data(), frame.size() / 2);
+                ::shutdown(to, SHUT_RDWR);
+                ::shutdown(from, SHUT_RDWR);
+                return;
+            }
+            if (!sendFrame(to, frame))
+                return;
+        }
+    }
+
+    storage::RemoteKvServer &upstream;
+    FaultPlan plan;
+
+    Endpoint bound;
+    int listenFd = -1;
+    int wakePipe[2] = {-1, -1};
+    std::thread acceptor;
+
+    std::mutex linkMu;
+    std::vector<std::unique_ptr<Link>> links;
+    bool stopped = false;
+
+    std::atomic<std::uint64_t> connections{0};
+    std::atomic<std::uint64_t> faults{0};
+    std::atomic<std::uint64_t> requestsSeen{0};
+    std::atomic<std::uint64_t> responsesSeen{0};
+    std::atomic<bool> dropFired{false};
+    std::atomic<bool> truncateFired{false};
+    std::atomic<bool> blackholeFired{false};
+};
+
+} // namespace laoram::net
+
+#endif // LAORAM_TESTS_NET_FLAKY_PROXY_HH

@@ -2,11 +2,13 @@
  * @file
  * Backend conformance suite: one parameterized fixture run against
  * every SlotBackend flavour (DRAM, mmap file, a staged/
- * non-addressable reference backend, and the remote-KV RPC backend
- * over an in-process server), crossed with encryption on/off and
- * payloadBytes 0 / >0. Every backend must be observationally
- * identical through the ServerStorage API — same records, same sink
- * trace, same vectored/single-slot semantics.
+ * non-addressable reference backend, the remote-KV RPC backend over
+ * an in-process server, and the same RPC backend dialled through a
+ * fault-injecting TCP relay that drops the connection mid-suite),
+ * crossed with encryption on/off and payloadBytes 0 / >0. Every
+ * backend must be observationally identical through the
+ * ServerStorage API — same records, same sink trace, same
+ * vectored/single-slot semantics — reconnect-and-replay included.
  *
  * Plus mmap-specific persistence tests (byte-identical reads after
  * close/reopen, incompatible-file rejection) and an engine-level
@@ -23,6 +25,7 @@
 #include <tuple>
 #include <vector>
 
+#include "../net/flaky_proxy.hh"
 #include "oram/path_oram.hh"
 #include "oram/server_storage.hh"
 #include "storage/dram_backend.hh"
@@ -75,6 +78,7 @@ enum class Flavor
     Mmap,
     Staged,
     Remote,
+    Proxied,
 };
 
 const char *
@@ -89,6 +93,8 @@ flavorName(Flavor f)
         return "Staged";
       case Flavor::Remote:
         return "Remote";
+      case Flavor::Proxied:
+        return "Proxied";
     }
     return "?";
 }
@@ -158,6 +164,30 @@ class BackendConformance : public ::testing::TestWithParam<Param>
             return std::make_unique<ServerStorage>(
                 geom, payload, encrypt, kSeed, std::move(backend));
           }
+          case Flavor::Proxied: {
+            // Endpoint-mode client dialled through a relay that cuts
+            // the link after a handful of requests: every test in the
+            // suite must pass across at least one reconnect + replay.
+            proxiedNode = std::make_unique<storage::RemoteKvServer>(
+                storage::makeBackend(StorageConfig{},
+                                     geom.totalSlots(), 16 + payload,
+                                     0),
+                storage::RemoteKvConfig{});
+            net::FaultPlan plan;
+            plan.dropAfterRequests = 4;
+            proxy = std::make_unique<net::FlakyProxy>(*proxiedNode,
+                                                      plan);
+            StorageConfig scfg;
+            scfg.kind = BackendKind::Remote;
+            scfg.remote.endpoint = proxy->endpoint();
+            scfg.remote.maxRetries = 6;
+            scfg.remote.backoffBaseMs = 2;
+            scfg.remote.backoffMaxMs = 40;
+            auto backend = std::make_unique<storage::RemoteKvBackend>(
+                scfg, geom.totalSlots(), 16 + payload, 0);
+            return std::make_unique<ServerStorage>(
+                geom, payload, encrypt, kSeed, std::move(backend));
+          }
         }
         return nullptr;
     }
@@ -181,6 +211,12 @@ class BackendConformance : public ::testing::TestWithParam<Param>
 
     static constexpr std::uint64_t kSeed = 77;
     std::string path;
+
+    // Proxied flavour only; declared on the fixture so they outlive
+    // the test body's ServerStorage (whose teardown still talks to
+    // the node through the relay).
+    std::unique_ptr<storage::RemoteKvServer> proxiedNode;
+    std::unique_ptr<net::FlakyProxy> proxy;
 };
 
 TEST_P(BackendConformance, StartsAllDummies)
@@ -322,7 +358,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendConformance,
     ::testing::Combine(::testing::Values(Flavor::Dram, Flavor::Mmap,
                                          Flavor::Staged,
-                                         Flavor::Remote),
+                                         Flavor::Remote,
+                                         Flavor::Proxied),
                        ::testing::Bool(),
                        ::testing::Values(std::uint64_t{0},
                                          std::uint64_t{32})),

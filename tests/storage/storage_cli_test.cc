@@ -260,6 +260,89 @@ TEST(StorageCli, KeepOnPersistentRemoteParses)
     EXPECT_EQ(cfg.path, "node.tree");
 }
 
+TEST(StorageCli, RemoteEndpointParsesWithRetryKnobs)
+{
+    ParsedArgs args({"--storage", "remote", "--remote-endpoint",
+                     "node0:7070", "--remote-retries", "3",
+                     "--remote-timeout-ms", "250"});
+    StorageConfig cfg;
+    std::string error;
+    ASSERT_TRUE(
+        storageConfigFromArgsChecked(args.storage, &cfg, &error))
+        << error;
+    EXPECT_EQ(cfg.kind, BackendKind::Remote);
+    EXPECT_EQ(cfg.remote.endpoint, "node0:7070");
+    EXPECT_EQ(cfg.remote.maxRetries, 3u);
+    EXPECT_EQ(cfg.remote.responseTimeoutMs, 250);
+    EXPECT_TRUE(cfg.path.empty());
+
+    ParsedArgs uds({"--storage", "remote", "--remote-endpoint",
+                    "unix:/run/node.sock"});
+    ASSERT_TRUE(storageConfigFromArgsChecked(uds.storage, &cfg,
+                                             &error))
+        << error;
+    EXPECT_EQ(cfg.remote.endpoint, "unix:/run/node.sock");
+}
+
+TEST(StorageCli, RemoteEndpointRejectsExplicitStoragePath)
+{
+    // The node at the endpoint owns the tree file; a client-side
+    // path would silently do nothing.
+    ParsedArgs args({"--storage", "remote", "--remote-endpoint",
+                     "node0:7070", "--storage-path", "t.tree"});
+    std::string error;
+    EXPECT_FALSE(
+        storageConfigFromArgsChecked(args.storage, nullptr, &error));
+    EXPECT_NE(error.find("mutually exclusive"), std::string::npos)
+        << error;
+}
+
+TEST(StorageCli, RemoteEndpointRejectsMalformedSpelling)
+{
+    ParsedArgs args({"--storage", "remote", "--remote-endpoint",
+                     "not-an-endpoint"});
+    std::string error;
+    EXPECT_FALSE(
+        storageConfigFromArgsChecked(args.storage, nullptr, &error));
+    EXPECT_NE(error.find("--remote-endpoint"), std::string::npos)
+        << error;
+}
+
+TEST(StorageCli, RetryKnobsWithoutEndpointAreRejected)
+{
+    // A self-hosted in-process node can never be redialled, so a
+    // retry budget there would silently mean nothing.
+    ParsedArgs args({"--storage", "remote", "--remote-retries", "3"});
+    std::string error;
+    EXPECT_FALSE(
+        storageConfigFromArgsChecked(args.storage, nullptr, &error));
+    EXPECT_NE(error.find("--remote-endpoint"), std::string::npos)
+        << error;
+
+    ParsedArgs timeout(
+        {"--storage", "remote", "--remote-timeout-ms", "100"});
+    EXPECT_FALSE(storageConfigFromArgsChecked(timeout.storage,
+                                              nullptr, &error));
+}
+
+TEST(StorageCli, KeepAndCheckpointParseOnEndpointRemote)
+{
+    // The node at the endpoint may own a persistent tree, so keep +
+    // checkpoint are allowed; the Hello handshake settles at connect
+    // time whether the tree really survives.
+    ParsedArgs args({"--storage", "remote", "--remote-endpoint",
+                     "node0:7070", "--storage-keep",
+                     "--checkpoint-path", "c.ckpt"});
+    StorageConfig cfg;
+    CheckpointConfig ckpt;
+    std::string error;
+    ASSERT_TRUE(storageConfigFromArgsChecked(args.storage, &cfg,
+                                             &ckpt, &error))
+        << error;
+    EXPECT_TRUE(cfg.keepExisting);
+    EXPECT_EQ(ckpt.path, "c.ckpt");
+}
+
 TEST(StorageCli, CheckpointPathOnPersistentBackendsParses)
 {
     // mmap carries the sidecar next to its tree file...
